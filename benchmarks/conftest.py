@@ -1,0 +1,14 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper figure/table has a benchmark that regenerates its rows via
+``pytest benchmarks/ --benchmark-only``.  Benchmarks print the
+reproduced table so the run doubles as the artifact-regeneration step.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def show_tables(pytestconfig):
+    """Print reproduced tables unless -q -q is given."""
+    return pytestconfig.getoption("verbose") >= 0

@@ -1,0 +1,72 @@
+"""Ablation benchmarks for DESIGN.md's design choices.
+
+* bounded FIFO hash table size/ways vs. compression ratio;
+* 11-bit Huffman cap vs. unbounded depth;
+* lazy-skip (first-fit) matching vs. software chain search.
+"""
+
+import pytest
+
+from repro.core import blockformat, huffman
+from repro.core.lz77 import DpzipLz77Encoder
+from repro.core.matchers import ChainMatcher, config_for_level
+from repro.workloads.corpus import build_corpus
+
+
+@pytest.fixture(scope="module")
+def page():
+    return build_corpus(member_size=16 * 1024)[0].data[:4096]
+
+
+@pytest.mark.parametrize("index_bits,ways", [(8, 2), (10, 2), (12, 4),
+                                             (14, 8)])
+def test_hashtable_sizing(benchmark, index_bits, ways, page, show_tables):
+    """SRAM budget vs ratio: bigger tables find more matches."""
+    def run():
+        encoder = DpzipLz77Encoder(index_bits=index_bits, ways=ways)
+        tokens = encoder.encode(page)
+        frame, _ = blockformat.encode_frame(page, tokens)
+        return len(frame), encoder.table.sram_bytes
+
+    size, sram = benchmark.pedantic(run, iterations=1, rounds=3)
+    if show_tables:
+        print(f"\nhash {index_bits}b x{ways}: frame={size}B "
+              f"ratio={size / 4096:.3f} sram={sram // 1024}KiB")
+    assert size > 0
+
+
+@pytest.mark.parametrize("max_bits", [8, 11, 15])
+def test_huffman_depth_cap(benchmark, max_bits, page, show_tables):
+    """Ratio cost of the 11-bit ceiling vs deeper trees."""
+    freqs = [0] * 256
+    for byte in page:
+        freqs[byte] += 1
+
+    def run():
+        table = huffman.build_huffman_table(freqs, max_bits=max_bits)
+        return table.encoded_bit_length(freqs), table.report.cycles
+
+    bits, cycles = benchmark.pedantic(run, iterations=1, rounds=3)
+    if show_tables:
+        print(f"\nhuffman cap {max_bits}: payload={bits // 8}B "
+              f"canonizer_cycles={cycles}")
+    assert cycles <= 274 or max_bits != 11
+
+
+def test_firstfit_vs_chain_search(benchmark, page, show_tables):
+    """DPZip's first-fit vs software lazy chain matching: ratio gap."""
+    def run():
+        hw = DpzipLz77Encoder()
+        hw_tokens = hw.encode(page)
+        hw_frame, _ = blockformat.encode_frame(page, hw_tokens)
+        sw = ChainMatcher(config_for_level(3))
+        sw_tokens = sw.tokenize(page)
+        sw_frame, _ = blockformat.encode_frame(page, sw_tokens)
+        return len(hw_frame), len(sw_frame)
+
+    hw_size, sw_size = benchmark.pedantic(run, iterations=1, rounds=3)
+    if show_tables:
+        print(f"\nfirst-fit={hw_size}B chain-lazy={sw_size}B "
+              f"penalty={hw_size / max(sw_size, 1):.3f}x")
+    # "Slightly harms compression ratio" (§3.2.3): bounded penalty.
+    assert hw_size <= sw_size * 1.35

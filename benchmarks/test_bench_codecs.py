@@ -1,0 +1,40 @@
+"""Core-codec throughput benchmarks (functional Python datapath).
+
+These measure the *functional implementations*, not the modelled
+hardware rates — useful for tracking regressions in the compression
+kernels themselves.
+"""
+
+import pytest
+
+from repro.core import get_compressor
+from repro.workloads.corpus import build_corpus
+
+
+@pytest.fixture(scope="module")
+def page():
+    return build_corpus(member_size=16 * 1024)[0].data[:4096]
+
+
+@pytest.mark.parametrize("name", ["snappy", "lz4", "deflate", "zstd",
+                                  "dpzip"])
+def test_compress_4k(benchmark, name, page):
+    comp = get_compressor(name)
+    outcome = benchmark(comp.compress, page)
+    assert outcome.compressed_size > 0
+
+
+@pytest.mark.parametrize("name", ["snappy", "lz4", "deflate", "zstd",
+                                  "dpzip"])
+def test_decompress_4k(benchmark, name, page):
+    comp = get_compressor(name)
+    payload = comp.compress(page).payload
+    result = benchmark(comp.decompress, payload)
+    assert result == page
+
+
+def test_dpzip_engine_model_4k(benchmark, page):
+    from repro.hw.dpzip import DpzipEngine
+    engine = DpzipEngine()
+    result = benchmark(engine.compress, page)
+    assert result.engine_busy_ns > 0

@@ -1,0 +1,39 @@
+"""Benchmark harness: regenerate every paper figure/table.
+
+Each benchmark runs one experiment end to end (quick mode) and prints
+the reproduced rows; pytest-benchmark reports the generation time.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+FIGURES = [
+    "fig2", "fig7", "fig8", "fig9", "fig11", "fig12",
+    "fig16", "fig17", "fig18", "fig20",
+    "table1", "table2", "scalability",
+]
+
+
+@pytest.mark.parametrize("name", FIGURES)
+def test_regenerate(benchmark, name, show_tables):
+    result = benchmark.pedantic(
+        lambda: run_experiment(name, quick=True),
+        iterations=1, rounds=1,
+    )
+    assert result.rows
+    if show_tables:
+        print()
+        print(result.table())
+
+
+@pytest.mark.parametrize("name", ["fig14", "fig15", "fig19"])
+def test_regenerate_ycsb(benchmark, name, show_tables):
+    result = benchmark.pedantic(
+        lambda: run_experiment(name, quick=True),
+        iterations=1, rounds=1,
+    )
+    assert result.rows
+    if show_tables:
+        print()
+        print(result.table())

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Multi-tenant SR-IOV isolation: the noisy-neighbor experiment.
+
+24 VMs share one device through virtual functions.  QAT's shared FIFO
+lets bursty tenants starve others (CV > 50%); DP-CSD's per-VF fair
+scheduling holds every tenant at a steady ~340 MB/s (CV < 1%).
+Reproduces Figure 20.
+
+Run:  python examples/multi_tenant_isolation.py
+"""
+
+from repro.devices.sriov import dpcsd_vf_config, qat8970_vf_config
+from repro.profiling import format_table
+from repro.virt import (
+    DeviceServiceModel,
+    MultiTenantSim,
+    csd_tenant_profile,
+    qat_tenant_profile,
+)
+
+
+def main() -> None:
+    runs = {
+        "qat8970": MultiTenantSim(
+            qat8970_vf_config(24),
+            DeviceServiceModel(stream_gbps=3.37, request_overhead_ns=1160),
+            qat_tenant_profile(), seed=7,
+        ),
+        "dpcsd": MultiTenantSim(
+            dpcsd_vf_config(24),
+            DeviceServiceModel(stream_gbps=2.05, request_overhead_ns=2000),
+            csd_tenant_profile(), seed=7,
+        ),
+    }
+    rows = []
+    traces = {}
+    for name, sim in runs.items():
+        outcome = sim.run(duration_s=30)
+        rows.append({
+            "device": name,
+            "avg_cv_percent": outcome.avg_cv_percent,
+            "mean_vm_mbps": outcome.mean_throughput_mbps,
+        })
+        traces[name] = outcome.per_vm_series[0][2:14]
+    print("24 VMs per device, per-VM throughput stability (Figure 20):\n")
+    print(format_table(rows, floatfmt=".2f"))
+    print("\nVM0 per-second throughput (MB/s), seconds 2-13:")
+    for name, series in traces.items():
+        line = " ".join(f"{v:6.0f}" for v in series)
+        print(f"  {name:8s} {line}")
+
+
+if __name__ == "__main__":
+    main()

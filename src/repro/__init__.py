@@ -1,0 +1,18 @@
+"""Reproduction of "ASIC-based Compression Accelerators for Storage
+Systems: Design, Placement, and Profiling Insights" (EuroSys 2026).
+
+The package provides:
+
+* :mod:`repro.core` -- working implementations of DPZip's hardware
+  compression algorithms (LZ77 / canonical Huffman / FSE) and the
+  software baselines (Deflate, Zstd, LZ4, Snappy);
+* :mod:`repro.hw` -- cycle-level device models for the three CDPU
+  placements (peripheral QAT 8970, on-chip QAT 4xxx, in-storage DPZip);
+* :mod:`repro.ssd` -- the DP-CSD substrate: NAND, compression-aware FTL
+  and controller SoC;
+* :mod:`repro.apps` -- RocksDB-like LSM store and Btrfs/ZFS-like
+  filesystems used for end-to-end evaluation;
+* :mod:`repro.experiments` -- one module per paper figure/table.
+"""
+
+__version__ = "1.0.0"

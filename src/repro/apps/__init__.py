@@ -1,0 +1,1 @@
+"""Application substrates: LSM key-value store and filesystems."""

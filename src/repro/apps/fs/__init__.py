@@ -1,0 +1,20 @@
+"""Filesystem substrates: Btrfs-like extents, ZFS-like records."""
+
+from repro.apps.fs.btrfs import (
+    BLOCK_BYTES,
+    EXTENT_BYTES,
+    BtrfsModel,
+    FsOpCost,
+    FsTimingModel,
+)
+from repro.apps.fs.zfs import RECORD_SIZES, ZfsModel
+
+__all__ = [
+    "BLOCK_BYTES",
+    "BtrfsModel",
+    "EXTENT_BYTES",
+    "FsOpCost",
+    "FsTimingModel",
+    "RECORD_SIZES",
+    "ZfsModel",
+]

@@ -1,0 +1,217 @@
+"""Btrfs-like filesystem model (paper §5.3.2, Figure 16).
+
+Captures the three Btrfs behaviours the paper measures:
+
+* **asynchronous buffered-IO compression**: writes land in the page
+  cache and are compressed during background writeback, with an extra
+  memory copy on the QAT path (bounce buffers) — the write-throughput
+  penalty of Finding 11;
+* **mandatory checksumming** whenever compression is on;
+* **128 KB maximum compressed extent size**: a 4 KB random read must
+  fetch and decompress the whole extent — the read-amplification
+  mechanism of Finding 9.  With in-storage compression the filesystem
+  stores plain 4 KB blocks and the problem vanishes.
+
+Data is stored for real: extents hold actual compressed payloads and
+reads decompress them, so correctness is testable end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.kv.hooks import CompressionHook, OffHook
+from repro.errors import ConfigurationError
+
+EXTENT_BYTES = 128 * 1024
+BLOCK_BYTES = 4096
+
+
+@dataclass
+class FsOpCost:
+    """Cost envelope of one filesystem operation."""
+
+    foreground_ns: float = 0.0
+    host_cpu_ns: float = 0.0
+    accel_busy_ns: float = 0.0
+    storage_read_bytes: int = 0
+    storage_write_bytes: int = 0
+    read_amplification: float = 0.0
+
+
+@dataclass
+class FsTimingModel:
+    """Device and host path constants for the filesystem models."""
+
+    device_write_gbps: float = 6.0
+    device_read_base_ns: float = 80_000.0
+    device_read_gbps: float = 2.8
+    page_cache_copy_gbps: float = 11.0
+    bounce_copy_gbps: float = 9.0     # extra QAT staging copy
+    checksum_cycles_per_byte: float = 0.45
+    cpu_ghz: float = 2.7
+    metadata_flush_ns: float = 60_000.0
+    #: Kernel writeback worker threads doing compression (kworkers).
+    writeback_threads: int = 16
+    #: Accelerator-assisted async compression serializes through the
+    #: writeback queue (bounce buffers + kworker handoffs); this caps
+    #: QAT-path Btrfs writes well below the device rate (Finding 11).
+    async_accel_writeback_gbps: float = 3.0
+    #: In-storage engine input-stream bound (None = not engine-bound).
+    in_storage_engine_gbps: float | None = None
+
+
+@dataclass
+class _Extent:
+    """One on-disk extent (compressed or plain)."""
+
+    logical_offset: int
+    logical_length: int
+    payload: bytes
+    compressed: bool
+
+
+class BtrfsModel:
+    """A single-file Btrfs-like volume with pluggable compression."""
+
+    def __init__(self, hook: CompressionHook | None = None,
+                 timing: FsTimingModel | None = None,
+                 in_storage_device: bool = False,
+                 device_write_ratio: float = 1.0) -> None:
+        self.hook = hook or OffHook()
+        self.timing = timing or FsTimingModel()
+        #: True when the device compresses transparently (DP-CSD): the
+        #: filesystem itself writes plain 4 KB blocks.
+        self.in_storage_device = in_storage_device
+        #: Physical fraction actually hitting NAND for in-storage devices.
+        self.device_write_ratio = device_write_ratio
+        self._extents: list[_Extent] = []
+        self._file_bytes = 0
+
+    # -- write path ------------------------------------------------------------
+
+    def write(self, data: bytes) -> FsOpCost:
+        """Append ``data``; compression happens in writeback context."""
+        if not data:
+            raise ConfigurationError("cannot write an empty buffer")
+        timing = self.timing
+        cost = FsOpCost()
+        # Foreground: copy into the page cache, then the syscall returns.
+        cost.foreground_ns += len(data) / timing.page_cache_copy_gbps
+        cost.host_cpu_ns += len(data) / timing.page_cache_copy_gbps
+        # Background writeback: per-extent compress + checksum + write.
+        app_compressing = (not self.in_storage_device
+                           and not isinstance(self.hook, OffHook))
+        offset = self._file_bytes
+        for start in range(0, len(data), EXTENT_BYTES):
+            chunk = data[start:start + EXTENT_BYTES]
+            if app_compressing:
+                block = self.hook.compress_block(chunk)
+                payload = block.stored_payload
+                compressed = payload is not chunk
+                cost.host_cpu_ns += block.host_cpu_ns
+                cost.accel_busy_ns += block.accel_busy_ns
+                if block.accel_busy_ns > 0:
+                    # QAT path: bounce-buffer copy in and out.
+                    bounce = (len(chunk) + len(payload)) / timing.bounce_copy_gbps
+                    cost.host_cpu_ns += bounce
+                # Compression forces checksumming of the extent.
+                cost.host_cpu_ns += (len(chunk)
+                                     * timing.checksum_cycles_per_byte
+                                     / timing.cpu_ghz)
+            else:
+                payload = chunk
+                compressed = False
+            written = len(payload)
+            if self.in_storage_device:
+                written = int(written * self.device_write_ratio)
+            cost.storage_write_bytes += written
+            self._extents.append(_Extent(offset + start, len(chunk),
+                                         payload, compressed))
+        cost.host_cpu_ns += timing.metadata_flush_ns / 10.0
+        self._file_bytes += len(data)
+        return cost
+
+    # -- read path ---------------------------------------------------------------
+
+    def read(self, offset: int, length: int = BLOCK_BYTES
+             ) -> tuple[bytes, FsOpCost]:
+        """Random read; compressed extents are fetched whole."""
+        timing = self.timing
+        cost = FsOpCost()
+        out = bytearray()
+        remaining = length
+        cursor = offset
+        while remaining > 0:
+            extent = self._find_extent(cursor)
+            within = cursor - extent.logical_offset
+            take = min(remaining, extent.logical_length - within)
+            if extent.compressed:
+                # Read amplification: the whole extent comes off the
+                # device and is decompressed for any byte inside it.
+                read_bytes = len(extent.payload)
+                cost.foreground_ns += (timing.device_read_base_ns
+                                       + read_bytes / timing.device_read_gbps)
+                cost.storage_read_bytes += read_bytes
+                data, block_cost = self.hook.decompress_block(extent.payload)
+                cost.host_cpu_ns += block_cost.host_cpu_ns
+                cost.accel_busy_ns += block_cost.accel_busy_ns
+                cost.foreground_ns += (block_cost.host_cpu_ns
+                                       + block_cost.accel_latency_ns)
+                cost.read_amplification += read_bytes / max(take, 1)
+            else:
+                read_bytes = take
+                base = timing.device_read_base_ns
+                if self.in_storage_device:
+                    # DP-CSD decompresses inline; ~5 us overhead total.
+                    base += 5_000.0
+                cost.foreground_ns += base + read_bytes / timing.device_read_gbps
+                cost.storage_read_bytes += read_bytes
+                data = extent.payload
+                cost.read_amplification += 1.0
+            out += data[within:within + take]
+            cursor += take
+            remaining -= take
+        return bytes(out), cost
+
+    def _find_extent(self, offset: int) -> _Extent:
+        for extent in self._extents:
+            if (extent.logical_offset <= offset
+                    < extent.logical_offset + extent.logical_length):
+                return extent
+        raise ConfigurationError(f"offset {offset} beyond file end")
+
+    # -- aggregate throughput model ------------------------------------------------
+
+    def write_throughput_gbps(self, sample: FsOpCost,
+                              sample_bytes: int) -> float:
+        """Sustained buffered-write bandwidth for this configuration.
+
+        The bottleneck is the slowest of: page-cache ingest, background
+        compression (on ``writeback_threads`` kworkers or the
+        accelerator), and the device write path.
+        """
+        timing = self.timing
+        ingest = timing.page_cache_copy_gbps
+        device = (timing.device_write_gbps
+                  * sample_bytes / max(sample.storage_write_bytes, 1))
+        bounds = [ingest, device]
+        background_cpu = sample.host_cpu_ns - sample_bytes / ingest
+        if background_cpu > 0:
+            per_thread = sample_bytes / background_cpu
+            bounds.append(per_thread * timing.writeback_threads)
+        if sample.accel_busy_ns > 0:
+            bounds.append(sample_bytes / sample.accel_busy_ns)
+            if not self.in_storage_device:
+                bounds.append(timing.async_accel_writeback_gbps)
+        if self.in_storage_device and timing.in_storage_engine_gbps:
+            bounds.append(timing.in_storage_engine_gbps)
+        return min(bounds)
+
+    @property
+    def file_bytes(self) -> int:
+        return self._file_bytes
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(len(e.payload) for e in self._extents)

@@ -1,0 +1,132 @@
+"""ZFS-like filesystem model (paper §5.3.2, Figure 17).
+
+ZFS compresses at *record* granularity and the record size is tunable
+(4 KB - 128 KB), which is why the paper uses it for the block-size
+latency sweep.  Reads fetch and decompress one record; updates are
+read-modify-write at record granularity.  The latency-vs-recordsize
+curves of Figure 17 come straight from these mechanisms:
+
+* CPU Deflate latency grows steeply with record size (decompression is
+  ~14 cycles/byte);
+* QAT 8970 pays its PCIe round-trip regardless of size, so it only
+  beats the CPU at large records;
+* DP-CSD stores plain records and decompresses inline — near-OFF
+  latency at every record size (Finding 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.fs.btrfs import FsOpCost, FsTimingModel
+from repro.apps.kv.hooks import CompressionHook, OffHook
+from repro.errors import ConfigurationError
+
+RECORD_SIZES = [4096, 8192, 16384, 32768, 65536, 131072]
+
+
+@dataclass
+class _Record:
+    payload: bytes
+    compressed: bool
+    logical_length: int
+
+
+class ZfsModel:
+    """A ZFS-like dataset with configurable recordsize."""
+
+    def __init__(self, recordsize: int = 131072,
+                 hook: CompressionHook | None = None,
+                 timing: FsTimingModel | None = None,
+                 in_storage_device: bool = False,
+                 device_write_ratio: float = 1.0) -> None:
+        if recordsize not in RECORD_SIZES:
+            raise ConfigurationError(
+                f"recordsize {recordsize} not in {RECORD_SIZES}"
+            )
+        self.recordsize = recordsize
+        self.hook = hook or OffHook()
+        self.timing = timing or FsTimingModel()
+        self.in_storage_device = in_storage_device
+        self.device_write_ratio = device_write_ratio
+        self._records: dict[int, _Record] = {}
+
+    def _app_compressing(self) -> bool:
+        return (not self.in_storage_device
+                and not isinstance(self.hook, OffHook))
+
+    # -- write ------------------------------------------------------------------
+
+    def write_record(self, index: int, data: bytes) -> FsOpCost:
+        if len(data) != self.recordsize:
+            raise ConfigurationError(
+                f"record must be exactly {self.recordsize} bytes"
+            )
+        timing = self.timing
+        cost = FsOpCost()
+        if self._app_compressing():
+            block = self.hook.compress_block(data)
+            payload = block.stored_payload
+            compressed = payload is not data
+            cost.host_cpu_ns += block.host_cpu_ns
+            cost.accel_busy_ns += block.accel_busy_ns
+            cost.foreground_ns += (block.host_cpu_ns
+                                   + block.accel_latency_ns)
+            cost.host_cpu_ns += (len(data)
+                                 * timing.checksum_cycles_per_byte
+                                 / timing.cpu_ghz)
+        else:
+            payload = data
+            compressed = False
+        written = len(payload)
+        if self.in_storage_device:
+            written = int(written * self.device_write_ratio)
+        cost.storage_write_bytes += written
+        cost.foreground_ns += (written / timing.device_write_gbps
+                               + timing.metadata_flush_ns / 20.0)
+        self._records[index] = _Record(payload, compressed, len(data))
+        return cost
+
+    # -- read -------------------------------------------------------------------
+
+    def read_record(self, index: int) -> tuple[bytes, FsOpCost]:
+        record = self._records.get(index)
+        if record is None:
+            raise KeyError(f"record {index} not written")
+        timing = self.timing
+        cost = FsOpCost()
+        read_bytes = len(record.payload)
+        base = timing.device_read_base_ns
+        if self.in_storage_device:
+            base += 5_000.0  # inline decompression overhead (Finding 10)
+        cost.foreground_ns += base + read_bytes / timing.device_read_gbps
+        cost.storage_read_bytes += read_bytes
+        if record.compressed:
+            data, block_cost = self.hook.decompress_block(record.payload)
+            cost.host_cpu_ns += block_cost.host_cpu_ns
+            cost.accel_busy_ns += block_cost.accel_busy_ns
+            cost.foreground_ns += (block_cost.host_cpu_ns
+                                   + block_cost.accel_latency_ns)
+        else:
+            data = record.payload
+        return data, cost
+
+    def update_record(self, index: int, data: bytes) -> FsOpCost:
+        """Read-modify-write one record (Figure 17b's op)."""
+        _, read_cost = self.read_record(index)
+        write_cost = self.write_record(index, data)
+        return FsOpCost(
+            foreground_ns=read_cost.foreground_ns + write_cost.foreground_ns,
+            host_cpu_ns=read_cost.host_cpu_ns + write_cost.host_cpu_ns,
+            accel_busy_ns=read_cost.accel_busy_ns + write_cost.accel_busy_ns,
+            storage_read_bytes=read_cost.storage_read_bytes,
+            storage_write_bytes=write_cost.storage_write_bytes,
+        )
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(len(r.payload) for r in self._records.values())
+
+    @property
+    def logical_bytes(self) -> int:
+        return sum(r.logical_length for r in self._records.values())

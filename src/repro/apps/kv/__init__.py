@@ -1,0 +1,32 @@
+"""RocksDB-like LSM key-value store with pluggable compression."""
+
+from repro.apps.kv.hooks import (
+    BlockCost,
+    CompressionHook,
+    CpuDeflateHook,
+    InStorageHook,
+    OffHook,
+    QatHook,
+    make_hook,
+)
+from repro.apps.kv.lsm import LsmStore, OpCost, StorageTimingModel, TimingLedger
+from repro.apps.kv.memtable import MemTable
+from repro.apps.kv.sstable import SSTable
+from repro.apps.kv.wal import WriteAheadLog
+
+__all__ = [
+    "BlockCost",
+    "CompressionHook",
+    "CpuDeflateHook",
+    "InStorageHook",
+    "LsmStore",
+    "MemTable",
+    "OffHook",
+    "OpCost",
+    "QatHook",
+    "SSTable",
+    "StorageTimingModel",
+    "TimingLedger",
+    "WriteAheadLog",
+    "make_hook",
+]

@@ -1,0 +1,41 @@
+"""In-memory write buffer of the LSM store (RocksDB's MemTable)."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class MemTable:
+    """Mutable sorted buffer; flushed to an SSTable when full."""
+
+    def __init__(self, capacity_bytes: int = 256 * 1024) -> None:
+        if capacity_bytes < 4096:
+            raise ConfigurationError("memtable capacity too small")
+        self.capacity_bytes = capacity_bytes
+        self._entries: dict[bytes, bytes] = {}
+        self.approximate_bytes = 0
+
+    def put(self, key: bytes, value: bytes) -> None:
+        # RocksDB memtables are append-only (every version occupies
+        # arena space until flush), so overwrites still consume budget —
+        # this is what creates flush pressure under update workloads.
+        self._entries[key] = value
+        self.approximate_bytes += len(key) + len(value)
+
+    def get(self, key: bytes) -> bytes | None:
+        return self._entries.get(key)
+
+    @property
+    def is_full(self) -> bool:
+        return self.approximate_bytes >= self.capacity_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def sorted_items(self) -> list[tuple[bytes, bytes]]:
+        """Entries in key order, ready for SSTable construction."""
+        return sorted(self._entries.items())
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.approximate_bytes = 0

@@ -1,0 +1,36 @@
+"""Write-ahead log accounting (RocksDB's WAL).
+
+The WAL is written uncompressed on the IO path before the memtable
+accepts a put; its byte count feeds the storage-write budget of the
+throughput model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_RECORD_HEADER_BYTES = 11  # checksum + length + type, log-format style
+
+
+@dataclass
+class WriteAheadLog:
+    """Byte accounting for the active WAL segment."""
+
+    bytes_appended: int = 0
+    records: int = 0
+    syncs: int = 0
+
+    def append(self, key: bytes, value: bytes) -> int:
+        """Log one put; returns bytes appended."""
+        nbytes = _RECORD_HEADER_BYTES + len(key) + len(value)
+        self.bytes_appended += nbytes
+        self.records += 1
+        return nbytes
+
+    def sync(self) -> None:
+        self.syncs += 1
+
+    def reset(self) -> None:
+        """A memtable flush retires the segment."""
+        self.bytes_appended = 0
+        self.records = 0

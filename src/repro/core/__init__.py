@@ -1,0 +1,29 @@
+"""Core compression algorithms (paper §3) and software baselines.
+
+Exports the functional codecs; performance models live in
+:mod:`repro.hw` and consume the work counters these codecs produce.
+"""
+
+from repro.core.dpzip_codec import DpzipCodec, DpzipResult
+from repro.core.deflate import DeflateCodec
+from repro.core.lz4 import Lz4Codec
+from repro.core.registry import (
+    CompressionOutcome,
+    algorithm_names,
+    get_compressor,
+)
+from repro.core.snappy import SnappyCodec
+from repro.core.zstd import StageBreakdown, ZstdLikeCodec
+
+__all__ = [
+    "CompressionOutcome",
+    "DeflateCodec",
+    "DpzipCodec",
+    "DpzipResult",
+    "Lz4Codec",
+    "SnappyCodec",
+    "StageBreakdown",
+    "ZstdLikeCodec",
+    "algorithm_names",
+    "get_compressor",
+]

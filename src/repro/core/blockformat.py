@@ -1,0 +1,340 @@
+"""Zstd-variant block format shared by DPZip and the software codecs.
+
+A frame holds one independently-decodable block:
+
+``mode`` byte (raw / compressed), varint original size, then for
+compressed blocks a literal section (raw or canonical-Huffman coded)
+followed by a sequence section (FSE-coded ``LL``/``ML``/``OF`` symbol
+streams plus a raw extra-bits stream, Zstd-style log buckets).
+
+The format is deliberately self-describing and byte-oriented at section
+boundaries so hardware DMA engines could fetch sections independently —
+mirroring how DPZip couples its LZ77, Huffman and FSE units through
+SRAM-backed staging buffers (paper Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import huffman
+from repro.core.bitio import BitReader, BitWriter
+from repro.core.fse import FseStats, decode_symbol_stream, encode_symbol_stream
+from repro.core.tokens import MIN_MATCH, Sequence, TokenStream
+from repro.errors import CompressionError, DecompressionError
+
+_MODE_RAW = 0
+_MODE_COMPRESSED = 1
+
+_LIT_RAW = 0
+_LIT_HUFFMAN = 1
+
+# Log-bucket code parameters (Zstd-style).
+_LL_DIRECT = 16      # literal lengths below this are coded directly
+_ML_DIRECT = 32      # match-length deltas below this are coded directly
+LL_ALPHABET = 32
+ML_ALPHABET = 48
+OF_ALPHABET = 20
+
+#: Below this many literals, Huffman headers cost more than they save.
+_MIN_HUFFMAN_LITERALS = 32
+
+
+@dataclass
+class BlockStats:
+    """Entropy-stage work counters for one frame (Fig. 2 inputs)."""
+
+    huffman_symbols: int = 0
+    huffman_table_builds: int = 0
+    canonizer_cycles: int = 0
+    fse: FseStats = field(default_factory=FseStats)
+    extra_bits: int = 0
+    literal_mode: str = "raw"
+    raw_fallback: bool = False
+
+
+def write_varint(out: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint."""
+    if value < 0:
+        raise CompressionError(f"varint cannot encode negative {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    """Read an unsigned LEB128 varint; returns ``(value, new_pos)``."""
+    value = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise DecompressionError("varint overruns payload")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise DecompressionError("varint too long")
+
+
+# --- LL / ML / OF bucket codes --------------------------------------------
+
+def ll_code(value: int) -> tuple[int, int, int]:
+    """Literal length -> ``(code, extra_value, extra_bits)``."""
+    if value < _LL_DIRECT:
+        return value, 0, 0
+    k = value.bit_length() - 1
+    return 12 + k, value - (1 << k), k
+
+
+def ll_value(code: int, extra: int) -> int:
+    if code < _LL_DIRECT:
+        return code
+    k = code - 12
+    return (1 << k) + extra
+
+
+def ll_extra_bits(code: int) -> int:
+    return 0 if code < _LL_DIRECT else code - 12
+
+
+def ml_code(match_length: int) -> tuple[int, int, int]:
+    """Match length -> ``(code, extra_value, extra_bits)``."""
+    delta = match_length - MIN_MATCH
+    if delta < 0:
+        raise CompressionError(f"match length {match_length} below minimum")
+    if delta < _ML_DIRECT:
+        return delta, 0, 0
+    k = delta.bit_length() - 1
+    return 27 + k, delta - (1 << k), k
+
+
+def ml_value(code: int, extra: int) -> int:
+    if code < _ML_DIRECT:
+        return code + MIN_MATCH
+    k = code - 27
+    return (1 << k) + extra + MIN_MATCH
+
+
+def ml_extra_bits(code: int) -> int:
+    return 0 if code < _ML_DIRECT else code - 27
+
+
+def of_code(offset: int) -> tuple[int, int, int]:
+    """Match offset -> ``(code, extra_value, extra_bits)``."""
+    if offset < 1:
+        raise CompressionError(f"offset must be >= 1, got {offset}")
+    k = offset.bit_length() - 1
+    return k, offset - (1 << k), k
+
+
+def of_value(code: int, extra: int) -> int:
+    return (1 << code) + extra
+
+
+def of_extra_bits(code: int) -> int:
+    return code
+
+
+# --- frame encode ----------------------------------------------------------
+
+def encode_frame(
+    data: bytes,
+    tokens: TokenStream,
+    max_huffman_bits: int = huffman.DPZIP_MAX_BITS,
+) -> tuple[bytes, BlockStats]:
+    """Serialize a token stream into a self-contained frame.
+
+    Falls back to storing ``data`` raw whenever the compressed frame
+    would not be smaller — the same incompressible-data path DP-CSD's
+    FTL takes (paper §4.2).
+    """
+    stats = BlockStats()
+    frame = _encode_compressed(data, tokens, max_huffman_bits, stats)
+    raw_size = 1 + _varint_len(len(data)) + len(data)
+    if frame is None or len(frame) >= raw_size:
+        out = bytearray([_MODE_RAW])
+        write_varint(out, len(data))
+        out += data
+        stats.raw_fallback = True
+        return bytes(out), stats
+    return frame, stats
+
+
+def _varint_len(value: int) -> int:
+    length = 1
+    while value >= 0x80:
+        value >>= 7
+        length += 1
+    return length
+
+
+def _encode_compressed(
+    data: bytes,
+    tokens: TokenStream,
+    max_huffman_bits: int,
+    stats: BlockStats,
+) -> bytes | None:
+    sequences = list(tokens.sequences)
+    # The terminal match-less sequence stays implicit: its literals are
+    # whatever remains in the literal buffer after the last real match.
+    if sequences and sequences[-1].match_length == 0:
+        sequences.pop()
+    if any(seq.match_length == 0 for seq in sequences):
+        raise CompressionError("match-less sequence in stream interior")
+
+    out = bytearray([_MODE_COMPRESSED])
+    write_varint(out, tokens.decoded_size)
+
+    # --- literal section ---
+    literals = tokens.literals
+    write_varint(out, len(literals))
+    lit_payload: bytes | None = None
+    if len(literals) >= _MIN_HUFFMAN_LITERALS:
+        try:
+            encoded, report = huffman.encode_block(
+                literals, max_bits=max_huffman_bits
+            )
+        except CompressionError:
+            encoded, report = None, None
+        if encoded is not None and len(encoded) < len(literals):
+            lit_payload = encoded
+            stats.huffman_symbols += len(literals)
+            stats.huffman_table_builds += 1
+            stats.canonizer_cycles += report.cycles
+            stats.literal_mode = "huffman"
+    if lit_payload is not None:
+        out.append(_LIT_HUFFMAN)
+        write_varint(out, len(lit_payload))
+        out += lit_payload
+    else:
+        out.append(_LIT_RAW)
+        out += literals
+
+    # --- sequence section ---
+    write_varint(out, len(sequences))
+    if sequences:
+        ll_codes: list[int] = []
+        ml_codes: list[int] = []
+        of_codes: list[int] = []
+        extras: list[tuple[int, int]] = []
+        for seq in sequences:
+            lc, le, ln = ll_code(seq.literal_length)
+            mc, me, mn = ml_code(seq.match_length)
+            oc, oe, on = of_code(seq.offset)
+            ll_codes.append(lc)
+            ml_codes.append(mc)
+            of_codes.append(oc)
+            extras.extend(((le, ln), (me, mn), (oe, on)))
+        writer = BitWriter()
+        encode_symbol_stream(ll_codes, LL_ALPHABET, writer, stats=stats.fse)
+        writer.align()
+        encode_symbol_stream(ml_codes, ML_ALPHABET, writer, stats=stats.fse)
+        writer.align()
+        encode_symbol_stream(of_codes, OF_ALPHABET, writer, stats=stats.fse)
+        writer.align()
+        for value, nbits in extras:
+            writer.write(value, nbits)
+            stats.extra_bits += nbits
+        payload = writer.getvalue()
+        write_varint(out, len(payload))
+        out += payload
+    return bytes(out)
+
+
+# --- frame decode ----------------------------------------------------------
+
+def decode_frame_tokens(payload: bytes,
+                        preset_history: int = 0) -> tuple[TokenStream, int]:
+    """Parse a frame back into ``(token_stream, original_size)``.
+
+    Raw frames come back as a single literal run.  ``preset_history``
+    permits offsets into a preset dictionary preceding the block.
+    """
+    if not payload:
+        raise DecompressionError("empty frame")
+    mode = payload[0]
+    pos = 1
+    if mode == _MODE_RAW:
+        size, pos = read_varint(payload, pos)
+        body = payload[pos:pos + size]
+        if len(body) != size:
+            raise DecompressionError("raw frame truncated")
+        sequences = [Sequence(size, 0, 0)] if size else []
+        return TokenStream(body, sequences), size
+    if mode != _MODE_COMPRESSED:
+        raise DecompressionError(f"unknown frame mode {mode}")
+
+    original_size, pos = read_varint(payload, pos)
+    n_literals, pos = read_varint(payload, pos)
+    if pos >= len(payload):
+        raise DecompressionError("frame truncated before literal mode")
+    lit_mode = payload[pos]
+    pos += 1
+    if lit_mode == _LIT_HUFFMAN:
+        enc_len, pos = read_varint(payload, pos)
+        blob = payload[pos:pos + enc_len]
+        if len(blob) != enc_len:
+            raise DecompressionError("literal payload truncated")
+        pos += enc_len
+        literals = bytes(huffman.decode_block(blob, n_literals))
+    elif lit_mode == _LIT_RAW:
+        literals = payload[pos:pos + n_literals]
+        if len(literals) != n_literals:
+            raise DecompressionError("raw literals truncated")
+        pos += n_literals
+    else:
+        raise DecompressionError(f"unknown literal mode {lit_mode}")
+
+    n_sequences, pos = read_varint(payload, pos)
+    sequences: list[Sequence] = []
+    consumed_literals = 0
+    if n_sequences:
+        payload_len, pos = read_varint(payload, pos)
+        blob = payload[pos:pos + payload_len]
+        if len(blob) != payload_len:
+            raise DecompressionError("sequence payload truncated")
+        pos += payload_len
+        reader = BitReader(blob)
+        ll_codes = decode_symbol_stream(reader, n_sequences, LL_ALPHABET)
+        reader.align()
+        ml_codes = decode_symbol_stream(reader, n_sequences, ML_ALPHABET)
+        reader.align()
+        of_codes = decode_symbol_stream(reader, n_sequences, OF_ALPHABET)
+        reader.align()
+        for lc, mc, oc in zip(ll_codes, ml_codes, of_codes):
+            le = reader.read(ll_extra_bits(lc))
+            me = reader.read(ml_extra_bits(mc))
+            oe = reader.read(of_extra_bits(oc))
+            seq = Sequence(ll_value(lc, le), ml_value(mc, me),
+                           of_value(oc, oe))
+            consumed_literals += seq.literal_length
+            sequences.append(seq)
+    tail = n_literals - consumed_literals
+    if tail < 0:
+        raise DecompressionError("sequences consume more literals than present")
+    if tail:
+        sequences.append(Sequence(tail, 0, 0))
+    stream = TokenStream(literals, sequences)
+    stream.validate(preset_history=preset_history)
+    if stream.decoded_size != original_size:
+        raise DecompressionError(
+            f"frame decodes to {stream.decoded_size} bytes, "
+            f"header claims {original_size}"
+        )
+    return stream, original_size
+
+
+def decode_frame(payload: bytes) -> bytes:
+    """Fully decode a frame to the original bytes."""
+    from repro.core.tokens import reconstruct
+
+    stream, _ = decode_frame_tokens(payload)
+    return reconstruct(stream)

@@ -1,0 +1,221 @@
+"""Deflate-like codec (the CPU and QAT baseline algorithm).
+
+Structurally follows RFC 1951: LZ77 over a 32 KB window, then a single
+Huffman-coded stream mixing literal bytes with length codes, plus a
+second Huffman table for distance codes (both with the RFC extra-bit
+bucket tables).  Two deliberate deviations, documented for fidelity:
+
+* code lengths are capped at 11 bits (so the nibble-packed table
+  serialization is shared with DPZip).  On the <=64 KB blocks this
+  package compresses, depth >11 essentially never occurs, so the ratio
+  impact is negligible;
+* minimum match length is 4 (shared tokenizer), vs. RFC 1951's 3.
+
+The QAT devices in the paper implement Deflate in hardware; they reuse
+this codec functionally and differ only in their device/cost models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import huffman
+from repro.core.bitio import BitReader, BitWriter
+from repro.core.matchers import ChainMatcher, ChainMatcherConfig, config_for_level
+from repro.core.tokens import MIN_MATCH, Sequence, TokenStream, reconstruct
+from repro.errors import CompressionError, DecompressionError
+
+_EOB = 256  # end-of-block symbol
+
+# RFC 1951 length code tables (codes 257..285 -> symbol index 257+i).
+_LENGTH_BASE = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51,
+    59, 67, 83, 99, 115, 131, 163, 195, 227, 258,
+]
+_LENGTH_EXTRA = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4,
+    4, 5, 5, 5, 5, 0,
+]
+_DIST_BASE = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385,
+    513, 769, 1025, 1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+]
+_DIST_EXTRA = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10,
+    10, 11, 11, 12, 12, 13, 13,
+]
+
+_LITLEN_ALPHABET = 286
+_DIST_ALPHABET = 30
+_MAX_MATCH = 258
+
+_MODE_RAW = 0
+_MODE_DYNAMIC = 1
+
+
+def _length_symbol(length: int) -> tuple[int, int, int]:
+    """Match length -> ``(symbol, extra_value, extra_bits)``."""
+    if length < 3 or length > _MAX_MATCH:
+        raise CompressionError(f"deflate length {length} out of range")
+    for index in range(len(_LENGTH_BASE) - 1, -1, -1):
+        if length >= _LENGTH_BASE[index]:
+            if index == len(_LENGTH_BASE) - 1 and length != 258:
+                continue
+            return (257 + index, length - _LENGTH_BASE[index],
+                    _LENGTH_EXTRA[index])
+    raise CompressionError(f"unmappable deflate length {length}")
+
+
+def _distance_symbol(distance: int) -> tuple[int, int, int]:
+    """Match offset -> ``(symbol, extra_value, extra_bits)``."""
+    if distance < 1 or distance > 32768:
+        raise CompressionError(f"deflate distance {distance} out of range")
+    for index in range(len(_DIST_BASE) - 1, -1, -1):
+        if distance >= _DIST_BASE[index]:
+            return index, distance - _DIST_BASE[index], _DIST_EXTRA[index]
+    raise CompressionError(f"unmappable deflate distance {distance}")
+
+
+@dataclass
+class DeflateStats:
+    """Work counters surfaced to the CPU/QAT cost models."""
+
+    litlen_symbols: int = 0
+    dist_symbols: int = 0
+    table_builds: int = 0
+    matcher: dict = field(default_factory=dict)
+
+
+class DeflateCodec:
+    """Deflate-like compressor with level-parameterized search."""
+
+    name = "deflate"
+
+    def __init__(self, level: int = 1,
+                 config: ChainMatcherConfig | None = None) -> None:
+        self.level = level
+        if config is None:
+            config = config_for_level(level)
+        # Deflate's window and match cap are fixed by the format.
+        config.window_log = min(config.window_log, 15)
+        config.max_match = _MAX_MATCH
+        self._matcher = ChainMatcher(config)
+        self.last_stats = DeflateStats()
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` into a self-contained deflate-like frame."""
+        stats = DeflateStats()
+        tokens = self._matcher.tokenize(data)
+        stats.matcher = vars(self._matcher.stats).copy()
+        payload = self._encode(data, tokens, stats)
+        self.last_stats = stats
+        return payload
+
+    def decompress(self, payload: bytes) -> bytes:
+        """Inverse of :meth:`compress`."""
+        if not payload:
+            raise DecompressionError("empty deflate frame")
+        reader = BitReader(payload)
+        mode = reader.read(8)
+        size = reader.read(32)
+        if mode == _MODE_RAW:
+            return reader.read_bytes(size)
+        if mode != _MODE_DYNAMIC:
+            raise DecompressionError(f"unknown deflate mode {mode}")
+        litlen_lengths = huffman.parse_lengths(reader)
+        dist_lengths = huffman.parse_lengths(reader)
+        litlen = huffman.HuffmanTable(litlen_lengths)
+        dist = huffman.HuffmanTable(dist_lengths)
+        out = bytearray()
+        while True:
+            symbol = litlen.decode_symbol(reader)
+            if symbol < 256:
+                out.append(symbol)
+                continue
+            if symbol == _EOB:
+                break
+            index = symbol - 257
+            length = _LENGTH_BASE[index] + reader.read(_LENGTH_EXTRA[index])
+            dsym = dist.decode_symbol(reader)
+            distance = _DIST_BASE[dsym] + reader.read(_DIST_EXTRA[dsym])
+            src = len(out) - distance
+            if src < 0:
+                raise DecompressionError("deflate distance before start")
+            for i in range(length):
+                out.append(out[src + i])
+        if len(out) != size:
+            raise DecompressionError(
+                f"deflate decoded {len(out)} bytes, header says {size}"
+            )
+        return bytes(out)
+
+    # -- internals ----------------------------------------------------------
+
+    def _encode(self, data: bytes, tokens: TokenStream,
+                stats: DeflateStats) -> bytes:
+        symbols: list[tuple[int, int, int]] = []  # (symbol, extra, bits)
+        dist_syms: list[tuple[int, int, int]] = []
+        lit_pos = 0
+        for seq in tokens.sequences:
+            for b in tokens.literals[lit_pos:lit_pos + seq.literal_length]:
+                symbols.append((b, 0, 0))
+            lit_pos += seq.literal_length
+            if seq.match_length:
+                # Chop matches beyond the format cap into 258-byte pieces.
+                remaining = seq.match_length
+                while remaining:
+                    piece = min(remaining, _MAX_MATCH)
+                    if remaining - piece in (1, 2, 3):
+                        piece = remaining - MIN_MATCH
+                    sym, extra, bits = _length_symbol(piece)
+                    symbols.append((sym, extra, bits))
+                    dist_syms.append(_distance_symbol(seq.offset))
+                    remaining -= piece
+        symbols.append((_EOB, 0, 0))
+
+        litlen_freqs = [0] * _LITLEN_ALPHABET
+        for sym, _, _ in symbols:
+            litlen_freqs[sym] += 1
+        dist_freqs = [0] * _DIST_ALPHABET
+        for sym, _, _ in dist_syms:
+            dist_freqs[sym] += 1
+        litlen_table = huffman.build_huffman_table(litlen_freqs)
+        stats.table_builds += 1
+        writer = BitWriter()
+        writer.write(_MODE_DYNAMIC, 8)
+        writer.write(len(data), 32)
+        huffman.serialize_lengths(litlen_table.lengths, writer)
+        if any(dist_freqs):
+            dist_table = huffman.build_huffman_table(dist_freqs)
+            stats.table_builds += 1
+        else:
+            dist_table = huffman.HuffmanTable([0] * _DIST_ALPHABET)
+        huffman.serialize_lengths(dist_table.lengths, writer)
+        dist_iter = iter(dist_syms)
+        for sym, extra, bits in symbols:
+            litlen_table.encode_symbol(sym, writer)
+            stats.litlen_symbols += 1
+            if bits:
+                writer.write(extra, bits)
+            if sym > _EOB:
+                dsym, dextra, dbits = next(dist_iter)
+                dist_table.encode_symbol(dsym, writer)
+                stats.dist_symbols += 1
+                if dbits:
+                    writer.write(dextra, dbits)
+        payload = writer.getvalue()
+        raw_size = 5 + len(data)
+        if len(payload) >= raw_size:
+            raw = BitWriter()
+            raw.write(_MODE_RAW, 8)
+            raw.write(len(data), 32)
+            raw.align()
+            raw.write_bytes(data)
+            return raw.getvalue()
+        return payload
+
+
+def roundtrip_check(data: bytes, level: int = 1) -> bool:
+    """Self-test helper: compress + decompress and compare."""
+    codec = DeflateCodec(level)
+    return codec.decompress(codec.compress(data)) == data

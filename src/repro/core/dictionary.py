@@ -1,0 +1,246 @@
+"""Preset-dictionary compression (paper §6, "Remaining R&D challenges").
+
+The paper notes that DP-CSD's fixed 4 KB granularity "inherently
+constrain[s] data redundancy detection" and earmarks *preset dictionary
+compression* as the mitigation: a dictionary of common substrings is
+preloaded into the LZ77 history window so that even the first bytes of
+a page can match against it — recovering some of the cross-page
+redundancy a 4 KB window cannot see.
+
+This module implements that extension on top of the DPZip datapath:
+
+* :func:`train_dictionary` builds a dictionary from sample pages by
+  ranking frequent 16-byte shingles (a deliberately hardware-plausible
+  cover-style trainer: no suffix automata, one pass + sort);
+* :class:`PresetDictionaryCodec` compresses pages with the dictionary
+  prepended to the window.  Offsets reaching into the dictionary region
+  are legal and resolved by the decoder, which holds the same
+  dictionary (in hardware: an SRAM region programmed at namespace
+  configuration time).
+
+The dictionary is identified by a checksum so mismatched decoders fail
+loudly instead of corrupting data.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core import blockformat
+from repro.core.lz77 import DpzipLz77Encoder
+from repro.core.tokens import Sequence, TokenStream
+from repro.errors import CompressionError, DecompressionError
+
+#: Shingle width used by the trainer; matches make sense at >= MIN_MATCH.
+_SHINGLE = 16
+#: Hardware budget: dictionaries live in controller SRAM.
+MAX_DICTIONARY_BYTES = 16 * 1024
+
+
+def train_dictionary(samples: list[bytes],
+                     dict_bytes: int = 4096) -> bytes:
+    """Build a preset dictionary from sample pages.
+
+    Ranks 16-byte shingles by frequency x coverage and concatenates the
+    winners (most valuable material at the *end*, nearest to the window,
+    where short offsets are cheapest to encode).
+    """
+    if dict_bytes <= 0 or dict_bytes > MAX_DICTIONARY_BYTES:
+        raise CompressionError(
+            f"dictionary size {dict_bytes} outside (0, "
+            f"{MAX_DICTIONARY_BYTES}]"
+        )
+    if not samples:
+        raise CompressionError("need at least one training sample")
+    counts: Counter[bytes] = Counter()
+    for sample in samples:
+        for pos in range(0, max(len(sample) - _SHINGLE, 0), _SHINGLE // 2):
+            counts[sample[pos:pos + _SHINGLE]] += 1
+    ranked = [shingle for shingle, count in counts.most_common()
+              if count > 1]
+    if not ranked:
+        ranked = [shingle for shingle, _ in counts.most_common()]
+    out = bytearray()
+    seen: set[bytes] = set()
+    for shingle in ranked:
+        if len(out) + len(shingle) > dict_bytes:
+            break
+        if shingle in seen:
+            continue
+        seen.add(shingle)
+        out += shingle
+    # Most frequent material last = smallest offsets from page start.
+    return bytes(out[::-1][:dict_bytes][::-1])
+
+
+@dataclass
+class DictStats:
+    """How much the dictionary contributed to one compression call."""
+
+    dictionary_matches: int = 0
+    dictionary_match_bytes: int = 0
+    total_matches: int = 0
+
+
+class PresetDictionaryCodec:
+    """DPZip codec with a preset dictionary in the history window."""
+
+    name = "dpzip-dict"
+
+    def __init__(self, dictionary: bytes,
+                 page_bytes: int = 4096) -> None:
+        if not dictionary:
+            raise CompressionError("dictionary must not be empty")
+        if len(dictionary) > MAX_DICTIONARY_BYTES:
+            raise CompressionError("dictionary exceeds SRAM budget")
+        self.dictionary = dictionary
+        self.page_bytes = page_bytes
+        self.dict_id = zlib.crc32(dictionary) & 0xFFFFFFFF
+        self._encoder = DpzipLz77Encoder(
+            window=len(dictionary) + page_bytes
+        )
+        self.last_stats = DictStats()
+
+    # -- encode ---------------------------------------------------------------
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data`` page-by-page against the dictionary."""
+        stats = DictStats()
+        out = bytearray()
+        out += self.dict_id.to_bytes(4, "little")
+        offset = 0
+        while offset < len(data) or (offset == 0 and not data):
+            page = data[offset:offset + self.page_bytes]
+            offset += self.page_bytes
+            frame = self._compress_page(page, stats)
+            out += len(frame).to_bytes(4, "little")
+            out += frame
+            if not data:
+                break
+        self.last_stats = stats
+        return bytes(out)
+
+    def _compress_page(self, page: bytes, stats: DictStats) -> bytes:
+        prefixed = self.dictionary + page
+        tokens = self._encoder.encode(prefixed)
+        rebased = self._rebase(tokens, page, stats)
+        frame, _ = blockformat.encode_frame(page, rebased)
+        return frame
+
+    def _rebase(self, tokens: TokenStream, page: bytes,
+                stats: DictStats) -> TokenStream:
+        """Strip the dictionary prefix from the token stream.
+
+        The encoder saw ``dictionary + page``; the stored frame covers
+        only the page, with offsets allowed to reach back into the
+        dictionary region (decoded against the same preset content).
+        """
+        dict_len = len(self.dictionary)
+        literals = tokens.literals
+        sequences: list[Sequence] = []
+        out_literals = bytearray()
+        pending = 0  # literals awaiting the next real match sequence
+        lit_pos = 0
+        decoded = 0  # position in dictionary+page space
+        for seq in tokens.sequences:
+            lit_end = lit_pos + seq.literal_length
+            chunk = literals[lit_pos:lit_end]
+            lit_pos = lit_end
+            if decoded + seq.literal_length <= dict_len:
+                decoded += seq.literal_length  # preset content: drop
+            elif decoded < dict_len:
+                keep = decoded + seq.literal_length - dict_len
+                out_literals += chunk[-keep:]
+                pending += keep
+                decoded += seq.literal_length
+            else:
+                out_literals += chunk
+                pending += seq.literal_length
+                decoded += seq.literal_length
+            if seq.match_length == 0:
+                continue
+            if decoded + seq.match_length <= dict_len:
+                decoded += seq.match_length  # match fully preset: drop
+                continue
+            if decoded < dict_len:
+                # Straddling match: dictionary side is preset; the page
+                # side re-emits as literals (it is the page prefix).
+                over = decoded + seq.match_length - dict_len
+                out_literals += page[:over]
+                pending += over
+                decoded += seq.match_length
+                continue
+            stats.total_matches += 1
+            if seq.offset > decoded - dict_len:
+                stats.dictionary_matches += 1
+                stats.dictionary_match_bytes += seq.match_length
+            sequences.append(Sequence(pending, seq.match_length,
+                                      seq.offset))
+            pending = 0
+            decoded += seq.match_length
+        if pending or not sequences:
+            sequences.append(Sequence(pending, 0, 0))
+        stream = TokenStream(bytes(out_literals), sequences)
+        stream.validate(preset_history=dict_len)
+        return stream
+
+    # -- decode ----------------------------------------------------------------
+
+    def decompress(self, payload: bytes) -> bytes:
+        """Inverse of :meth:`compress` (requires the same dictionary)."""
+        if len(payload) < 4:
+            raise DecompressionError("dictionary frame truncated")
+        dict_id = int.from_bytes(payload[:4], "little")
+        if dict_id != self.dict_id:
+            raise DecompressionError(
+                f"dictionary mismatch: payload expects {dict_id:#010x}, "
+                f"decoder holds {self.dict_id:#010x}"
+            )
+        out = bytearray()
+        pos = 4
+        while pos < len(payload):
+            if pos + 4 > len(payload):
+                raise DecompressionError("page length truncated")
+            length = int.from_bytes(payload[pos:pos + 4], "little")
+            pos += 4
+            frame = payload[pos:pos + length]
+            if len(frame) != length:
+                raise DecompressionError("page frame truncated")
+            pos += length
+            out += self._decompress_page(frame)
+        return bytes(out)
+
+    def _decompress_page(self, frame: bytes) -> bytes:
+        stream, size = blockformat.decode_frame_tokens(
+            frame, preset_history=len(self.dictionary)
+        )
+        # Decode with the dictionary as pre-existing history.
+        history = bytearray(self.dictionary)
+        base = len(history)
+        lit_pos = 0
+        for seq in stream.sequences:
+            lit_end = lit_pos + seq.literal_length
+            history += stream.literals[lit_pos:lit_end]
+            lit_pos = lit_end
+            if seq.match_length:
+                src = len(history) - seq.offset
+                if src < 0:
+                    raise DecompressionError(
+                        "offset reaches before dictionary start"
+                    )
+                for i in range(seq.match_length):
+                    history.append(history[src + i])
+        page = bytes(history[base:])
+        if len(page) != size:
+            raise DecompressionError(
+                f"page decoded to {len(page)} bytes, header says {size}"
+            )
+        return page
+
+    def ratio_for(self, data: bytes) -> float:
+        """Convenience: compressed/original for ``data``."""
+        if not data:
+            return 1.0
+        return len(self.compress(data)) / len(data)

@@ -1,0 +1,164 @@
+"""DPZip functional codec: the ASIC algorithm end to end (paper §3).
+
+Couples the hardware LZ77 engine (bounded FIFO hash table, group-of-4
+pipeline, first-fit matching) with the 11-bit-capped canonical Huffman
+and FSE entropy stages through the shared block format.  DPZip always
+compresses at **4 KB page granularity** regardless of request size
+(paper §5.2.1: "DPZip, processing all requests as 4KB pages, maintains a
+stable ratio independent of IO size") — larger requests are split into
+independent pages, which is why its ratio curve is flat across IO sizes
+while QAT improves at 64 KB.
+
+The cycle-level performance model lives in :mod:`repro.hw.dpzip`; this
+module is the functional datapath it instruments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import blockformat
+from repro.core.blockformat import BlockStats
+from repro.core.lz77 import (
+    DPZIP_PAGE_BYTES,
+    DecoderStats,
+    DpzipLz77Decoder,
+    DpzipLz77Encoder,
+    EncoderStats,
+)
+from repro.core.tokens import reconstruct
+from repro.errors import DecompressionError
+
+
+@dataclass
+class DpzipResult:
+    """Compressed pages plus the counters the engine model charges."""
+
+    payload: bytes
+    original_size: int
+    page_sizes: list[int] = field(default_factory=list)
+    encoder_stats: EncoderStats = field(default_factory=EncoderStats)
+    block_stats: list[BlockStats] = field(default_factory=list)
+    #: Per-page encoder stats, index-aligned with ``block_stats``.
+    page_encoder_stats: list[EncoderStats] = field(default_factory=list)
+
+    @property
+    def compressed_size(self) -> int:
+        return len(self.payload)
+
+    @property
+    def ratio(self) -> float:
+        """Compressed/original (paper convention: smaller is better)."""
+        if self.original_size == 0:
+            return 1.0
+        return self.compressed_size / self.original_size
+
+    @property
+    def canonizer_cycles(self) -> int:
+        return sum(stats.canonizer_cycles for stats in self.block_stats)
+
+
+#: §6's proposed extension: multiple compression levels within the one
+#: algorithm, trading SRAM (hash table size/associativity) and pipeline
+#: issue width for ratio.  Level 1 is the shipping configuration.
+DPZIP_LEVELS: dict[int, tuple[int, int, int]] = {
+    # level: (index_bits, ways, group_size)
+    1: (12, 4, 4),
+    2: (13, 8, 4),
+    3: (14, 8, 2),
+}
+
+
+class DpzipCodec:
+    """Functional DPZip compressor/decompressor."""
+
+    name = "dpzip"
+
+    def __init__(self, page_bytes: int = DPZIP_PAGE_BYTES,
+                 index_bits: int | None = None, ways: int | None = None,
+                 level: int = 1) -> None:
+        if level not in DPZIP_LEVELS:
+            raise ValueError(
+                f"unknown DPZip level {level}; known: {sorted(DPZIP_LEVELS)}"
+            )
+        level_bits, level_ways, group_size = DPZIP_LEVELS[level]
+        self.page_bytes = page_bytes
+        self.level = level
+        self._encoder = DpzipLz77Encoder(
+            index_bits=index_bits if index_bits is not None else level_bits,
+            ways=ways if ways is not None else level_ways,
+            group_size=group_size,
+            window=page_bytes,
+        )
+
+    def compress(self, data: bytes) -> DpzipResult:
+        """Compress ``data`` as independent 4 KB pages."""
+        result = DpzipResult(payload=b"", original_size=len(data))
+        payloads = bytearray()
+        offset = 0
+        while offset < len(data) or (offset == 0 and not data):
+            page = data[offset:offset + self.page_bytes]
+            offset += self.page_bytes
+            before = EncoderStats(**vars(self._encoder.stats))
+            tokens = self._encoder.encode(page)
+            delta = EncoderStats(**{
+                key: value - getattr(before, key)
+                for key, value in vars(self._encoder.stats).items()
+            })
+            result.page_encoder_stats.append(delta)
+            frame, stats = blockformat.encode_frame(page, tokens)
+            result.block_stats.append(stats)
+            result.page_sizes.append(len(frame))
+            payloads += len(frame).to_bytes(4, "little")
+            payloads += frame
+            if not data:
+                break
+        result.payload = bytes(payloads)
+        result.encoder_stats = self._encoder.stats
+        self._encoder.stats = EncoderStats()
+        return result
+
+    def compress_bytes(self, data: bytes) -> bytes:
+        """Plain-bytes convenience wrapper."""
+        return self.compress(data).payload
+
+    def decompress(self, payload: bytes) -> bytes:
+        """Inverse of :meth:`compress`; returns the original bytes."""
+        data, _ = self.decompress_with_stats(payload)
+        return data
+
+    def decompress_with_stats(self, payload: bytes) -> tuple[bytes, DecoderStats]:
+        """Decompress and expose the decoder pipeline counters."""
+        decoder = DpzipLz77Decoder()
+        out = bytearray()
+        pos = 0
+        while pos < len(payload):
+            if pos + 4 > len(payload):
+                raise DecompressionError("dpzip page length truncated")
+            length = int.from_bytes(payload[pos:pos + 4], "little")
+            pos += 4
+            frame = payload[pos:pos + length]
+            if len(frame) != length:
+                raise DecompressionError("dpzip page truncated")
+            pos += length
+            stream, _ = blockformat.decode_frame_tokens(frame)
+            out += decoder.decode(stream)
+        return bytes(out), decoder.stats
+
+
+def reference_roundtrip(data: bytes) -> bool:
+    """Cross-check the hardware decoder against the reference decoder."""
+    codec = DpzipCodec()
+    result = codec.compress(data)
+    via_decoder = codec.decompress(result.payload)
+    pos = 0
+    via_reference = bytearray()
+    while pos < len(result.payload):
+        length = int.from_bytes(result.payload[pos:pos + 4], "little")
+        pos += 4
+        stream, _ = blockformat.decode_frame_tokens(
+            result.payload[pos:pos + length]
+        )
+        via_reference += reconstruct(stream)
+        pos += length
+    return via_decoder == data and bytes(via_reference) == data

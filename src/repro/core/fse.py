@@ -1,0 +1,299 @@
+"""Finite State Entropy (tANS) coder (paper §3.3).
+
+DPZip's FSE engine is "fully compatible with the software implementation
+in Zstd": a table-based asymmetric numeral system.  This module is a
+from-scratch tANS implementation with the same construction as Zstd's
+``FSE_buildCTable``/``FSE_buildDTable``:
+
+* counts are normalized to ``2**table_log`` with every present symbol
+  keeping at least one slot;
+* symbols are spread over the state table with the coprime-step walk;
+* encoding runs over the symbols in reverse and emits variable-width
+  state remainders, decoding replays them forward.
+
+Hardware view: the ASIC engine processes one symbol per cycle through a
+deeply pipelined datapath; :class:`FseStats` records symbol counts and
+table builds so :mod:`repro.hw` can charge cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bitio import BitReader, BitWriter
+from repro.errors import CompressionError, DecompressionError
+
+#: Default table accuracy (log2 of state count) for sequence streams.
+DEFAULT_TABLE_LOG = 9
+MAX_TABLE_LOG = 12
+
+
+@dataclass
+class FseStats:
+    """Operation counters for the hardware cycle model."""
+
+    symbols_encoded: int = 0
+    symbols_decoded: int = 0
+    tables_built: int = 0
+
+
+def normalize_counts(freqs: list[int], table_log: int) -> list[int]:
+    """Scale a histogram so it sums to ``2**table_log``.
+
+    Every symbol with a nonzero raw count receives at least one slot
+    (otherwise it would be unencodable).  Remaining slots go to the
+    largest remainders; if the mandatory one-slot floor overshoots the
+    table, slots are reclaimed from the largest counts.
+    """
+    table_size = 1 << table_log
+    total = sum(freqs)
+    present = [s for s, f in enumerate(freqs) if f > 0]
+    if total <= 0:
+        raise CompressionError("cannot normalize an empty histogram")
+    if len(present) > table_size:
+        raise CompressionError(
+            f"{len(present)} symbols cannot fit a 2^{table_log} table"
+        )
+    norm = [0] * len(freqs)
+    if len(present) == 1:
+        # Degenerate: callers should use RLE mode; keep a legal table.
+        norm[present[0]] = table_size
+        return norm
+    remainders: list[tuple[float, int]] = []
+    assigned = 0
+    for s in present:
+        exact = freqs[s] * table_size / total
+        slot = max(1, int(exact))
+        norm[s] = slot
+        assigned += slot
+        remainders.append((exact - slot, s))
+    # Distribute leftover slots to the largest fractional remainders.
+    remainders.sort(reverse=True)
+    index = 0
+    while assigned < table_size:
+        _, s = remainders[index % len(remainders)]
+        norm[s] += 1
+        assigned += 1
+        index += 1
+    # Reclaim overshoot from the biggest counts (never below 1).
+    while assigned > table_size:
+        biggest = max(present, key=lambda s: norm[s])
+        if norm[biggest] <= 1:
+            raise CompressionError("normalization cannot reclaim slots")
+        norm[biggest] -= 1
+        assigned -= 1
+    return norm
+
+
+def _spread_symbols(norm: list[int], table_log: int) -> list[int]:
+    """Zstd's coprime-step spread of symbols over the state table."""
+    size = 1 << table_log
+    step = (size >> 1) + (size >> 3) + 3
+    mask = size - 1
+    spread = [0] * size
+    pos = 0
+    for symbol, count in enumerate(norm):
+        for _ in range(count):
+            spread[pos] = symbol
+            pos = (pos + step) & mask
+    if pos != 0:
+        raise CompressionError("spread walk did not return to origin")
+    return spread
+
+
+class FseTable:
+    """Combined encode/decode tables for one normalized distribution."""
+
+    def __init__(self, norm: list[int], table_log: int) -> None:
+        if table_log < 1 or table_log > MAX_TABLE_LOG:
+            raise CompressionError(f"table_log {table_log} out of range")
+        if sum(norm) != (1 << table_log):
+            raise CompressionError("normalized counts must sum to table size")
+        self.norm = list(norm)
+        self.table_log = table_log
+        size = 1 << table_log
+        spread = _spread_symbols(norm, table_log)
+
+        # --- decode table -------------------------------------------------
+        symbol_next = list(norm)
+        self._decode: list[tuple[int, int, int]] = [(0, 0, 0)] * size
+        for state in range(size):
+            symbol = spread[state]
+            x = symbol_next[symbol]
+            symbol_next[symbol] += 1
+            nbits = table_log - (x.bit_length() - 1)
+            new_state = (x << nbits) - size
+            self._decode[state] = (symbol, nbits, new_state)
+
+        # --- encode table -------------------------------------------------
+        cumul = [0] * (len(norm) + 1)
+        for symbol, count in enumerate(norm):
+            cumul[symbol + 1] = cumul[symbol] + count
+        fill = list(cumul[:-1])
+        self._state_table = [0] * size
+        for state in range(size):
+            symbol = spread[state]
+            self._state_table[fill[symbol]] = size + state
+            fill[symbol] += 1
+        self._delta_nbbits = [0] * len(norm)
+        self._delta_find = [0] * len(norm)
+        total = 0
+        for symbol, count in enumerate(norm):
+            if count == 0:
+                continue
+            if count == 1:
+                self._delta_nbbits[symbol] = (table_log << 16) - size
+                self._delta_find[symbol] = total - 1
+            else:
+                # highbit(count-1) == bit_length - 1 (Zstd's BIT_highbit32).
+                max_bits_out = table_log - ((count - 1).bit_length() - 1)
+                min_state_plus = count << max_bits_out
+                self._delta_nbbits[symbol] = (max_bits_out << 16) - min_state_plus
+                self._delta_find[symbol] = total - count
+            total += count
+
+    # -- encoding ---------------------------------------------------------
+
+    def encode(self, symbols: list[int], writer: BitWriter,
+               stats: FseStats | None = None) -> None:
+        """Entropy-code ``symbols`` (at least one) into ``writer``.
+
+        Layout: ``table_log``-bit final state, then the per-symbol state
+        remainders in decode order.
+        """
+        if not symbols:
+            raise CompressionError("FSE cannot encode zero symbols")
+        size = 1 << self.table_log
+        # Initialize on the last symbol without emitting bits.
+        last = symbols[-1]
+        if self.norm[last] == 0:
+            raise CompressionError(f"symbol {last} has zero probability")
+        nbits = (self._delta_nbbits[last] + (1 << 15)) >> 16
+        state = (nbits << 16) - self._delta_nbbits[last]
+        state = self._state_table[(state >> nbits) + self._delta_find[last]]
+        chunks: list[tuple[int, int]] = []
+        for symbol in reversed(symbols[:-1]):
+            if self.norm[symbol] == 0:
+                raise CompressionError(f"symbol {symbol} has zero probability")
+            nbits = (state + self._delta_nbbits[symbol]) >> 16
+            chunks.append((state & ((1 << nbits) - 1), nbits))
+            state = self._state_table[(state >> nbits) + self._delta_find[symbol]]
+        writer.write(state - size, self.table_log)
+        for value, nbits in reversed(chunks):
+            writer.write(value, nbits)
+        if stats is not None:
+            stats.symbols_encoded += len(symbols)
+
+    # -- decoding ---------------------------------------------------------
+
+    def decode(self, reader: BitReader, count: int,
+               stats: FseStats | None = None) -> list[int]:
+        """Decode ``count`` symbols previously produced by :meth:`encode`."""
+        if count <= 0:
+            raise DecompressionError("FSE decode count must be positive")
+        state = reader.read(self.table_log)
+        out: list[int] = []
+        for i in range(count):
+            symbol, nbits, new_state = self._decode[state]
+            out.append(symbol)
+            if i != count - 1:
+                state = new_state + reader.read(nbits)
+        if stats is not None:
+            stats.symbols_decoded += count
+        return out
+
+    # -- header -----------------------------------------------------------
+
+    def serialize(self, writer: BitWriter) -> None:
+        """Write ``table_log`` and the normalized counts."""
+        writer.write(self.table_log, 4)
+        writer.write(len(self.norm), 16)
+        width = self.table_log + 1
+        for count in self.norm:
+            writer.write(count, width)
+
+    @classmethod
+    def parse(cls, reader: BitReader) -> "FseTable":
+        table_log = reader.read(4)
+        if table_log < 1 or table_log > MAX_TABLE_LOG:
+            raise DecompressionError(f"bad FSE table_log {table_log}")
+        alphabet = reader.read(16)
+        width = table_log + 1
+        norm = [reader.read(width) for _ in range(alphabet)]
+        if sum(norm) != (1 << table_log):
+            raise DecompressionError("FSE header counts are inconsistent")
+        return cls(norm, table_log)
+
+
+def build_table(freqs: list[int], table_log: int = DEFAULT_TABLE_LOG,
+                stats: FseStats | None = None) -> FseTable:
+    """Histogram -> ready FseTable (normalizing along the way)."""
+    table = FseTable(normalize_counts(freqs, table_log), table_log)
+    if stats is not None:
+        stats.tables_built += 1
+    return table
+
+
+# --- self-describing symbol-stream helpers -------------------------------
+
+_MODE_FSE = 0
+_MODE_RLE = 1
+_MODE_RAW = 2
+
+
+def encode_symbol_stream(symbols: list[int], alphabet: int,
+                         writer: BitWriter,
+                         table_log: int = DEFAULT_TABLE_LOG,
+                         stats: FseStats | None = None) -> None:
+    """Write a symbol stream choosing FSE / RLE / raw per block.
+
+    The mode byte makes the stream self-describing; ``alphabet`` bounds
+    symbol values for the raw fallback width.
+    """
+    if not symbols:
+        raise CompressionError("cannot encode an empty symbol stream")
+    if any(s < 0 or s >= alphabet for s in symbols):
+        raise CompressionError("symbol out of alphabet range")
+    distinct = set(symbols)
+    raw_width = max(1, (alphabet - 1).bit_length())
+    if len(distinct) == 1:
+        writer.write(_MODE_RLE, 2)
+        writer.write(symbols[0], raw_width)
+        return
+    freqs = [0] * alphabet
+    for symbol in symbols:
+        freqs[symbol] += 1
+    log = min(table_log, MAX_TABLE_LOG)
+    # Shrink the table for short streams: header cost must not dominate.
+    while log > 5 and (1 << log) > 4 * len(symbols):
+        log -= 1
+    table = build_table(freqs, log, stats)
+    probe = BitWriter()
+    table.serialize(probe)
+    table.encode(symbols, probe, stats=None)
+    if probe.bit_length + 2 >= len(symbols) * raw_width + 2:
+        writer.write(_MODE_RAW, 2)
+        for symbol in symbols:
+            writer.write(symbol, raw_width)
+        return
+    writer.write(_MODE_FSE, 2)
+    table.serialize(writer)
+    table.encode(symbols, writer, stats)
+
+
+def decode_symbol_stream(reader: BitReader, count: int, alphabet: int,
+                         stats: FseStats | None = None) -> list[int]:
+    """Inverse of :func:`encode_symbol_stream`."""
+    if count <= 0:
+        raise DecompressionError("stream symbol count must be positive")
+    raw_width = max(1, (alphabet - 1).bit_length())
+    mode = reader.read(2)
+    if mode == _MODE_RLE:
+        symbol = reader.read(raw_width)
+        return [symbol] * count
+    if mode == _MODE_RAW:
+        return [reader.read(raw_width) for _ in range(count)]
+    if mode == _MODE_FSE:
+        table = FseTable.parse(reader)
+        return table.decode(reader, count, stats)
+    raise DecompressionError(f"unknown symbol stream mode {mode}")

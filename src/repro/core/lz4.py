@@ -1,0 +1,182 @@
+"""LZ4-like lightweight codec (paper §2.3's low-compression baseline).
+
+Implements the LZ4 block format for real: token byte with 4-bit literal
+and match-length nibbles (15 escapes to 255-run continuation bytes),
+2-byte little-endian offsets, greedy single-probe hash search with
+miss-streak acceleration.  LZ4 trades ratio for speed — exactly the
+trade-off Figure 7 quantifies against Deflate-class algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hashtable import hash_word
+from repro.errors import CompressionError, DecompressionError
+
+_MIN_MATCH = 4
+_MAX_OFFSET = 65535
+_TOKEN_LITERAL_MAX = 15
+_TOKEN_MATCH_MAX = 15  # encodes match length - 4
+
+#: LZ4's acceleration: step grows after this many consecutive misses.
+_SKIP_TRIGGER = 6
+
+
+@dataclass
+class Lz4Stats:
+    """Search-work counters for the CPU cost model."""
+
+    probes: int = 0
+    misses: int = 0
+    matches: int = 0
+    matched_bytes: int = 0
+    literals: int = 0
+    compare_bytes: int = 0
+
+
+@dataclass
+class Lz4Codec:
+    """LZ4-like compressor with a single-slot hash table."""
+
+    name: str = "lz4"
+    hash_log: int = 12
+    stats: Lz4Stats = field(default_factory=Lz4Stats)
+
+    def compress(self, data: bytes) -> bytes:
+        """Compress into an LZ4-block-format payload (u32 size prefix)."""
+        stats = Lz4Stats()
+        n = len(data)
+        out = bytearray()
+        out += n.to_bytes(4, "little")
+        table = [-1] * (1 << self.hash_log)
+        pos = 0
+        anchor = 0
+        search_steps = 0
+        while pos + _MIN_MATCH <= n:
+            stats.probes += 1
+            word = int.from_bytes(data[pos:pos + 4], "little")
+            bucket = hash_word(word, self.hash_log)
+            candidate = table[bucket]
+            table[bucket] = pos
+            if (candidate < 0 or pos - candidate > _MAX_OFFSET
+                    or data[candidate:candidate + 4] != data[pos:pos + 4]):
+                stats.misses += 1
+                search_steps += 1
+                pos += 1 + (search_steps >> _SKIP_TRIGGER)
+                continue
+            search_steps = 0
+            length = 4
+            limit = n - pos
+            while (length < limit
+                   and data[candidate + length] == data[pos + length]):
+                length += 1
+            stats.compare_bytes += length
+            stats.matches += 1
+            stats.matched_bytes += length
+            literal_len = pos - anchor
+            stats.literals += literal_len
+            self._emit_sequence(out, data[anchor:pos], length,
+                                pos - candidate)
+            pos += length
+            anchor = pos
+        # Final literal run (token with match nibble 0 and no offset).
+        tail = data[anchor:]
+        stats.literals += len(tail)
+        self._emit_literals_only(out, tail)
+        self.stats = stats
+        return bytes(out)
+
+    @staticmethod
+    def _emit_sequence(out: bytearray, literals: bytes, match_length: int,
+                       offset: int) -> None:
+        lit_len = len(literals)
+        match_code = match_length - _MIN_MATCH
+        token_lit = min(lit_len, _TOKEN_LITERAL_MAX)
+        token_match = min(match_code, _TOKEN_MATCH_MAX)
+        out.append((token_lit << 4) | token_match)
+        if token_lit == _TOKEN_LITERAL_MAX:
+            Lz4Codec._emit_run(out, lit_len - _TOKEN_LITERAL_MAX)
+        out += literals
+        out += offset.to_bytes(2, "little")
+        if token_match == _TOKEN_MATCH_MAX:
+            Lz4Codec._emit_run(out, match_code - _TOKEN_MATCH_MAX)
+
+    @staticmethod
+    def _emit_literals_only(out: bytearray, literals: bytes) -> None:
+        lit_len = len(literals)
+        token_lit = min(lit_len, _TOKEN_LITERAL_MAX)
+        out.append(token_lit << 4)
+        if token_lit == _TOKEN_LITERAL_MAX:
+            Lz4Codec._emit_run(out, lit_len - _TOKEN_LITERAL_MAX)
+        out += literals
+
+    @staticmethod
+    def _emit_run(out: bytearray, remainder: int) -> None:
+        while remainder >= 255:
+            out.append(255)
+            remainder -= 255
+        out.append(remainder)
+
+    def decompress(self, payload: bytes) -> bytes:
+        """Inverse of :meth:`compress`."""
+        if len(payload) < 4:
+            raise DecompressionError("lz4 payload too short")
+        size = int.from_bytes(payload[:4], "little")
+        out = bytearray()
+        pos = 4
+        n = len(payload)
+        while pos < n:
+            token = payload[pos]
+            pos += 1
+            lit_len = token >> 4
+            if lit_len == _TOKEN_LITERAL_MAX:
+                lit_len, pos = self._read_run(payload, pos, lit_len)
+            if pos + lit_len > n:
+                raise DecompressionError("lz4 literal run overruns payload")
+            out += payload[pos:pos + lit_len]
+            pos += lit_len
+            if pos >= n:
+                break  # final literals-only sequence
+            if pos + 2 > n:
+                raise DecompressionError("lz4 offset truncated")
+            offset = int.from_bytes(payload[pos:pos + 2], "little")
+            pos += 2
+            if offset == 0:
+                raise DecompressionError("lz4 zero offset")
+            match_len = token & 0x0F
+            if match_len == _TOKEN_MATCH_MAX:
+                match_len, pos = self._read_run(payload, pos, match_len)
+            match_len += _MIN_MATCH
+            src = len(out) - offset
+            if src < 0:
+                raise DecompressionError("lz4 offset before start")
+            for i in range(match_len):
+                out.append(out[src + i])
+        if len(out) != size:
+            raise DecompressionError(
+                f"lz4 decoded {len(out)} bytes, header says {size}"
+            )
+        return bytes(out)
+
+    @staticmethod
+    def _read_run(payload: bytes, pos: int, base: int) -> tuple[int, int]:
+        length = base
+        while True:
+            if pos >= len(payload):
+                raise DecompressionError("lz4 run continuation truncated")
+            byte = payload[pos]
+            pos += 1
+            length += byte
+            if byte != 255:
+                return length, pos
+
+
+def roundtrip_check(data: bytes) -> bool:
+    """Self-test helper used by the examples."""
+    codec = Lz4Codec()
+    return codec.decompress(codec.compress(data)) == data
+
+
+if _MIN_MATCH != 4:
+    raise CompressionError("lz4 module assumes MIN_MATCH == 4")

@@ -1,0 +1,175 @@
+"""Software LZ77 match finders for the CPU baselines (paper §2.2, §3.2.2).
+
+Software compressors like Zstd and Deflate use large sliding windows and
+pointer-heavy chained hash tables — exactly the structures the paper
+notes are "inefficient for hardware".  :class:`ChainMatcher` implements
+that classic head/prev chain search with lazy evaluation, parameterized
+per compression level, so the CPU cost model can charge cycles to the
+same work the profile in Figure 2 attributes to LZ77.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hashtable import hash_word
+from repro.core.tokens import MIN_MATCH, Sequence, TokenStream
+from repro.errors import CompressionError
+
+
+@dataclass
+class MatcherStats:
+    """Search-work counters (inputs to the CPU cycle model)."""
+
+    positions: int = 0
+    hash_inserts: int = 0
+    chain_steps: int = 0
+    compare_bytes: int = 0
+    lazy_evaluations: int = 0
+    matches: int = 0
+    matched_bytes: int = 0
+    literals: int = 0
+
+
+@dataclass
+class ChainMatcherConfig:
+    """Level-dependent search parameters.
+
+    ``max_chain`` bounds chain walks per position, ``lazy`` enables
+    one-position-lookahead parsing, ``nice_length`` stops the search
+    early once a match is long enough.
+    """
+
+    window_log: int = 15
+    hash_log: int = 15
+    max_chain: int = 16
+    lazy: bool = True
+    nice_length: int = 128
+    max_match: int = 1 << 16
+
+    @property
+    def window(self) -> int:
+        return 1 << self.window_log
+
+
+#: Deflate/Zstd-style level table.  Level 1 is the paper's default
+#: ("Deflate and Zstd are both executed at level 1").
+LEVEL_PRESETS: dict[int, ChainMatcherConfig] = {
+    1: ChainMatcherConfig(window_log=15, hash_log=14, max_chain=4,
+                          lazy=False, nice_length=32),
+    2: ChainMatcherConfig(window_log=15, hash_log=14, max_chain=8,
+                          lazy=False, nice_length=48),
+    3: ChainMatcherConfig(window_log=16, hash_log=15, max_chain=16,
+                          lazy=True, nice_length=64),
+    5: ChainMatcherConfig(window_log=16, hash_log=16, max_chain=32,
+                          lazy=True, nice_length=96),
+    10: ChainMatcherConfig(window_log=17, hash_log=17, max_chain=128,
+                           lazy=True, nice_length=512),
+}
+
+
+def config_for_level(level: int) -> ChainMatcherConfig:
+    """Resolve a level to search parameters (nearest preset at or below)."""
+    if level in LEVEL_PRESETS:
+        return LEVEL_PRESETS[level]
+    eligible = [l for l in LEVEL_PRESETS if l <= level]
+    if not eligible:
+        raise CompressionError(f"no preset at or below level {level}")
+    return LEVEL_PRESETS[max(eligible)]
+
+
+class ChainMatcher:
+    """Head/prev chained-hash LZ77 tokenizer with optional lazy parsing."""
+
+    def __init__(self, config: ChainMatcherConfig | None = None) -> None:
+        self.config = config or ChainMatcherConfig()
+        self.stats = MatcherStats()
+
+    def tokenize(self, data: bytes) -> TokenStream:
+        """Produce a token stream; each call is an independent block."""
+        cfg = self.config
+        stats = MatcherStats()
+        n = len(data)
+        head = [-1] * (1 << cfg.hash_log)
+        prev = [-1] * n
+        literals = bytearray()
+        sequences: list[Sequence] = []
+        pos = 0
+        lit_start = 0
+
+        def insert(p: int) -> None:
+            if p + 4 > n:
+                return
+            word = int.from_bytes(data[p:p + 4], "little")
+            bucket = hash_word(word, cfg.hash_log)
+            prev[p] = head[bucket]
+            head[bucket] = p
+            stats.hash_inserts += 1
+
+        def find(p: int) -> tuple[int, int]:
+            """Best ``(length, offset)`` at ``p`` (0, 0 when none)."""
+            if p + MIN_MATCH > n:
+                return 0, 0
+            word = int.from_bytes(data[p:p + 4], "little")
+            bucket = hash_word(word, cfg.hash_log)
+            candidate = head[bucket]
+            best_len = 0
+            best_off = 0
+            chain = cfg.max_chain
+            limit = min(n - p, cfg.max_match)
+            while candidate >= 0 and chain > 0 and p - candidate <= cfg.window:
+                stats.chain_steps += 1
+                chain -= 1
+                length = 0
+                while (length < limit
+                       and data[candidate + length] == data[p + length]):
+                    length += 1
+                stats.compare_bytes += length + 1
+                if length > best_len:
+                    best_len = length
+                    best_off = p - candidate
+                    if length >= cfg.nice_length:
+                        break
+                candidate = prev[candidate]
+            if best_len < MIN_MATCH:
+                return 0, 0
+            return best_len, best_off
+
+        while pos < n:
+            stats.positions += 1
+            length, offset = find(pos)
+            if length == 0:
+                insert(pos)
+                pos += 1
+                continue
+            if cfg.lazy and pos + 1 < n:
+                stats.lazy_evaluations += 1
+                insert(pos)
+                next_length, next_offset = find(pos + 1)
+                if next_length > length + 1:
+                    # Defer: take the better match at pos+1.
+                    pos += 1
+                    length, offset = next_length, next_offset
+                inserted_current = True
+            else:
+                inserted_current = False
+            literal_len = pos - lit_start
+            literals += data[lit_start:pos]
+            sequences.append(Sequence(literal_len, length, offset))
+            stats.matches += 1
+            stats.matched_bytes += length
+            stats.literals += literal_len
+            start = pos if not inserted_current else pos + 1
+            for q in range(start, min(pos + length, n - 3)):
+                insert(q)
+            pos += length
+            lit_start = pos
+        if lit_start < n:
+            tail = n - lit_start
+            literals += data[lit_start:]
+            sequences.append(Sequence(tail, 0, 0))
+            stats.literals += tail
+        self.stats = stats
+        stream = TokenStream(bytes(literals), sequences)
+        stream.validate()
+        return stream

@@ -1,0 +1,104 @@
+"""Uniform compressor interface and algorithm registry.
+
+Every compression algorithm in the package — software baselines and the
+DPZip functional codec — is reachable through :func:`get_compressor`
+under the names the paper uses (``snappy``, ``lz4``, ``deflate``,
+``zstd``, ``dpzip``), so experiments sweep algorithms declaratively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.core.deflate import DeflateCodec
+from repro.core.dpzip_codec import DpzipCodec
+from repro.core.lz4 import Lz4Codec
+from repro.core.snappy import SnappyCodec
+from repro.core.zstd import ZstdLikeCodec
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class CompressionOutcome:
+    """Normalized result of one compress call across all algorithms."""
+
+    algorithm: str
+    payload: bytes
+    original_size: int
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def compressed_size(self) -> int:
+        return len(self.payload)
+
+    @property
+    def ratio(self) -> float:
+        """Compressed/original, the paper's (smaller-is-better) metric."""
+        if self.original_size == 0:
+            return 1.0
+        return self.compressed_size / self.original_size
+
+
+class Compressor(Protocol):
+    """Minimal protocol the experiments rely on."""
+
+    name: str
+
+    def compress(self, data: bytes) -> object: ...
+
+    def decompress(self, payload: bytes) -> bytes: ...
+
+
+class _Adapter:
+    """Wraps heterogeneous codec result types into CompressionOutcome."""
+
+    def __init__(self, name: str, codec: object) -> None:
+        self.name = name
+        self._codec = codec
+
+    @property
+    def codec(self) -> object:
+        return self._codec
+
+    def compress(self, data: bytes) -> CompressionOutcome:
+        result = self._codec.compress(data)
+        if isinstance(result, (bytes, bytearray)):
+            return CompressionOutcome(self.name, bytes(result), len(data))
+        payload = result.payload
+        stats = {}
+        for attr in ("encoder_stats", "matcher_stats", "breakdown"):
+            if hasattr(result, attr):
+                stats[attr] = getattr(result, attr)
+        return CompressionOutcome(self.name, payload, len(data), stats)
+
+    def decompress(self, payload: bytes) -> bytes:
+        return self._codec.decompress(payload)
+
+
+_FACTORIES: dict[str, Callable[..., object]] = {
+    "snappy": lambda **kw: SnappyCodec(**kw),
+    "lz4": lambda **kw: Lz4Codec(**kw),
+    "deflate": lambda **kw: DeflateCodec(**kw),
+    "zstd": lambda **kw: ZstdLikeCodec(**kw),
+    "dpzip": lambda **kw: DpzipCodec(**kw),
+}
+
+
+def algorithm_names() -> list[str]:
+    """All registered algorithm names (paper's Figure 7 sweep order)."""
+    return ["snappy", "lz4", "deflate", "zstd", "dpzip"]
+
+
+def get_compressor(name: str, **kwargs: object) -> _Adapter:
+    """Instantiate a compressor by paper name.
+
+    ``kwargs`` forward to the codec constructor (e.g. ``level=1`` for
+    deflate/zstd, ``page_bytes`` for dpzip).
+    """
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; known: {sorted(_FACTORIES)}"
+        )
+    return _Adapter(name, factory(**kwargs))

@@ -1,0 +1,31 @@
+"""Device catalog and SR-IOV partitioning."""
+
+from repro.devices.specs import (
+    TABLE1_CDPUS,
+    TABLE1_SERVER,
+    CdpuSpecRecord,
+    ServerSpecRecord,
+    spec_by_name,
+)
+from repro.devices.sriov import (
+    ArbitrationPolicy,
+    VfConfig,
+    dpcsd_vf_config,
+    qat4xxx_vf_config,
+    qat8970_vf_config,
+    ssd_vf_config,
+)
+
+__all__ = [
+    "ArbitrationPolicy",
+    "CdpuSpecRecord",
+    "ServerSpecRecord",
+    "TABLE1_CDPUS",
+    "TABLE1_SERVER",
+    "VfConfig",
+    "dpcsd_vf_config",
+    "qat4xxx_vf_config",
+    "qat8970_vf_config",
+    "spec_by_name",
+    "ssd_vf_config",
+]

@@ -1,0 +1,73 @@
+"""Device spec catalog (paper Table 1).
+
+A declarative record of every CDPU in the testbed, used by reports and
+the Table 1 reproduction.  Spec throughputs are the datasheet numbers
+(Gbps); measured values come from the device models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.engine import Placement
+
+
+@dataclass(frozen=True)
+class CdpuSpecRecord:
+    """One row of Table 1's CDPU section."""
+
+    name: str
+    instances: str
+    placement: Placement
+    interconnect: str
+    algorithm: str
+    spec_comp_gbps: float
+    spec_decomp_gbps: float
+
+    @property
+    def spec_comp_gb_per_s(self) -> float:
+        return self.spec_comp_gbps / 8.0
+
+    @property
+    def spec_decomp_gb_per_s(self) -> float:
+        return self.spec_decomp_gbps / 8.0
+
+
+TABLE1_CDPUS: list[CdpuSpecRecord] = [
+    CdpuSpecRecord("QAT 8970", "3-in-1 ASIC", Placement.PERIPHERAL,
+                   "PCIe 3.0 x16", "Deflate", 66.0, 160.0),
+    CdpuSpecRecord("QAT 4xxx", "2x ASIC", Placement.ON_CHIP,
+                   "CMI", "Deflate", 160.0, 160.0),
+    CdpuSpecRecord("CSD 2000", "1x FPGA", Placement.IN_STORAGE,
+                   "FPGA AXI", "Gzip", 20.0, 24.0),
+    CdpuSpecRecord("DPZip", "1x ASIC", Placement.IN_STORAGE,
+                   "Chiplet AXI", "Zstd variant", 128.0, 160.0),
+]
+
+
+@dataclass(frozen=True)
+class ServerSpecRecord:
+    """Table 1's server section (xFusion 2288H V7 / SPR2S)."""
+
+    name: str = "SPR2S"
+    ddr_channels: int = 4
+    ddr_type: str = "DDR5"
+    local_latency_ns: float = 110.0
+    remote_latency_ns: float = 198.0
+    local_bandwidth_gbps: float = 128.0
+    remote_bandwidth_gbps: float = 108.0
+    cores: int = 88
+    frequency_ghz: float = 2.7
+    l1d_kb: int = 80
+    l2_mb: int = 2
+    l3_mb: int = 80
+
+
+TABLE1_SERVER = ServerSpecRecord()
+
+
+def spec_by_name(name: str) -> CdpuSpecRecord:
+    for record in TABLE1_CDPUS:
+        if record.name.lower().replace(" ", "") == name.lower().replace(" ", ""):
+            return record
+    raise KeyError(f"no Table 1 record for {name!r}")

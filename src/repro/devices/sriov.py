@@ -1,0 +1,69 @@
+"""SR-IOV virtual-function partitioning (paper §5.5.2, Figure 20).
+
+Each physical CDPU is carved into Virtual Functions assigned 1:1 to
+VMs.  The decisive architectural difference the paper measures:
+
+* **QAT** VFs share the engine pool and queue slots with *no internal
+  arbiter* — a burst on one VF delays others arbitrarily, producing
+  coefficients of variation above 50%;
+* **DP-CSD / SSD** VFs sit behind per-VF fair scheduling (front-end QoS
+  with round-robin queue service), keeping CV below 0.5%.
+
+:class:`VfConfig` captures those policies; the tenant simulation in
+:mod:`repro.virt` consumes them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class ArbitrationPolicy(enum.Enum):
+    """How a device serves its VFs' queued requests."""
+
+    #: First-come-first-served over a shared queue (QAT).
+    SHARED_FCFS = "shared-fcfs"
+    #: Per-VF queues served round-robin with rate fairness (DP-CSD).
+    PER_VF_FAIR = "per-vf-fair"
+
+
+@dataclass(frozen=True)
+class VfConfig:
+    """One device's virtualization profile."""
+
+    device_name: str
+    vf_count: int
+    policy: ArbitrationPolicy
+    #: Engine-slot pool shared by all VFs.
+    engine_slots: int
+    #: Device-wide in-flight request ceiling (QAT's 64-queue limit).
+    queue_ceiling: int
+
+    def __post_init__(self) -> None:
+        if self.vf_count < 1:
+            raise ConfigurationError("vf_count must be >= 1")
+        if self.engine_slots < 1:
+            raise ConfigurationError("engine_slots must be >= 1")
+
+
+def qat8970_vf_config(vf_count: int = 24) -> VfConfig:
+    return VfConfig("qat8970", vf_count, ArbitrationPolicy.SHARED_FCFS,
+                    engine_slots=3, queue_ceiling=64)
+
+
+def qat4xxx_vf_config(vf_count: int = 24) -> VfConfig:
+    return VfConfig("qat4xxx", vf_count, ArbitrationPolicy.SHARED_FCFS,
+                    engine_slots=2, queue_ceiling=64)
+
+
+def dpcsd_vf_config(vf_count: int = 24) -> VfConfig:
+    return VfConfig("dpcsd", vf_count, ArbitrationPolicy.PER_VF_FAIR,
+                    engine_slots=4, queue_ceiling=1024)
+
+
+def ssd_vf_config(vf_count: int = 24) -> VfConfig:
+    return VfConfig("ssd", vf_count, ArbitrationPolicy.PER_VF_FAIR,
+                    engine_slots=4, queue_ceiling=1024)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CompressionError(ReproError):
+    """Raised when a compressor cannot encode the given input."""
+
+
+class DecompressionError(ReproError):
+    """Raised when a compressed payload is malformed or inconsistent."""
+
+
+class BitstreamError(DecompressionError):
+    """Raised on bit-level framing problems (overruns, bad padding)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a model or device is configured inconsistently."""
+
+
+class CapacityError(ReproError):
+    """Raised when a device or FTL runs out of physical space."""
+
+
+class SimulationError(ReproError):
+    """Raised on discrete-event simulation misuse (e.g. time travel)."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload generator receives invalid parameters."""

@@ -1,0 +1,32 @@
+"""Experiment registry: one module per paper figure/table.
+
+Importing this package populates :data:`repro.experiments.common.REGISTRY`
+with every ``run`` callable, keyed by experiment id.
+"""
+
+from repro.experiments import (  # noqa: F401  (registration side effects)
+    fig2_zstd_breakdown,
+    fig7_ratio,
+    fig11_latency,
+    fig12_compressibility,
+    fig16_btrfs,
+    fig17_zfs,
+    fig18_power,
+    fig20_multitenant,
+    microbench,
+    scalability,
+    tables,
+    ycsb_suite,
+)
+from repro.experiments.common import REGISTRY, ExperimentResult
+
+__all__ = ["REGISTRY", "ExperimentResult", "run_experiment"]
+
+
+def run_experiment(name: str, quick: bool = True) -> ExperimentResult:
+    """Run one registered experiment by id (e.g. ``"fig8"``)."""
+    if name not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {sorted(REGISTRY)}"
+        )
+    return REGISTRY[name](quick=quick)

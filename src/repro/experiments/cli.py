@@ -1,0 +1,43 @@
+"""Command-line entry point: ``repro-experiment [names...]``.
+
+Runs the requested experiments (default: all) and prints their tables.
+``--full`` switches off quick mode for paper-scale workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import REGISTRY, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce figures/tables from the ASIC-CDPU paper."
+    )
+    parser.add_argument("names", nargs="*",
+                        help="experiment ids (default: all)")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale workloads instead of quick mode")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiment ids")
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in sorted(REGISTRY):
+            print(name)
+        return 0
+    names = args.names or sorted(REGISTRY)
+    for name in names:
+        try:
+            result = run_experiment(name, quick=not args.full)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        print(result.table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

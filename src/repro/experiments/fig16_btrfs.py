@@ -1,0 +1,63 @@
+"""Figure 16: Btrfs throughput and latency per CDPU configuration.
+
+Writes a working set through the Btrfs model (asynchronous extent
+compression, checksums) and issues 4 KB random reads.  Expected shape:
+DP-CSD has the highest write throughput and near-OFF read latency;
+CPU Deflate's 128 KB-extent decompression peaks near ~572 us; QAT sits
+between, paying IO-stack and extent-fetch costs (~90 us over DP-CSD);
+CSD 2000 trails on writes (slow FPGA engine).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.apps.fs.btrfs import BtrfsModel, EXTENT_BYTES
+from repro.apps.kv.hooks import make_hook
+from repro.experiments.common import ExperimentResult, register
+from repro.workloads.datagen import ratio_controlled_bytes
+
+CONFIGS = ("off", "cpu-deflate", "qat8970", "qat4xxx", "dpcsd", "csd2000")
+
+
+def _build_volume(config: str, total_bytes: int) -> tuple[BtrfsModel, object]:
+    hook = make_hook(config)
+    in_storage = config in ("dpcsd", "csd2000")
+    fs = BtrfsModel(hook=hook, in_storage_device=in_storage,
+                    device_write_ratio=0.45 if in_storage else 1.0)
+    if config == "csd2000":
+        fs.timing.in_storage_engine_gbps = 2.2  # FPGA engine input bound
+    elif config == "dpcsd":
+        fs.timing.in_storage_engine_gbps = 14.0  # DPZip, not binding
+    data = ratio_controlled_bytes(total_bytes, 0.45, seed=5)
+    sample = fs.write(data)
+    return fs, sample
+
+
+@register("fig16")
+def run(quick: bool = True) -> ExperimentResult:
+    total = 4 * EXTENT_BYTES if quick else 32 * EXTENT_BYTES
+    reads = 24 if quick else 200
+    configs = CONFIGS if not quick else ("off", "cpu-deflate", "qat4xxx",
+                                         "dpcsd", "csd2000")
+    result = ExperimentResult(
+        experiment_id="fig16",
+        title="Btrfs write throughput (GB/s) and 4 KB read latency (us)",
+    )
+    rng = random.Random(3)
+    for config in configs:
+        fs, sample = _build_volume(config, total)
+        write_gbps = fs.write_throughput_gbps(sample, total)
+        latencies = []
+        for _ in range(reads):
+            offset = rng.randrange(total - 4096)
+            offset -= offset % 4096
+            _, cost = fs.read(offset)
+            latencies.append(cost.foreground_ns / 1000.0)
+        result.rows.append({
+            "config": config,
+            "write_gbps": write_gbps,
+            "read_latency_us": sum(latencies) / len(latencies),
+            "stored_mb": fs.stored_bytes / 1e6,
+        })
+    return result

@@ -1,0 +1,46 @@
+"""Figure 17: ZFS read/update latency across record sizes.
+
+Sweeps recordsize 4 KB-128 KB for OFF, CPU Deflate, QAT 8970, CSD 2000
+and DP-CSD (QAT 4xxx is excluded: ZFS does not support it — paper
+§5.3.2).  Expected shapes (Finding 10): CPU Deflate grows steeply with
+record size; QAT 8970 tracks the CPU closely at small records (driver
+stack) and only modestly beats it at large ones; DP-CSD stays near the
+OFF baseline at every size.
+"""
+
+from __future__ import annotations
+
+from repro.apps.fs.zfs import RECORD_SIZES, ZfsModel
+from repro.apps.kv.hooks import make_hook
+from repro.experiments.common import ExperimentResult, register
+from repro.workloads.datagen import ratio_controlled_bytes
+
+CONFIGS = ("off", "cpu-deflate", "qat8970", "csd2000", "dpcsd")
+
+
+@register("fig17")
+def run(quick: bool = True) -> ExperimentResult:
+    sizes = RECORD_SIZES if not quick else [4096, 16384, 65536, 131072]
+    configs = CONFIGS if not quick else ("off", "cpu-deflate",
+                                         "qat8970", "dpcsd")
+    result = ExperimentResult(
+        experiment_id="fig17",
+        title="ZFS read/update latency (us) vs record size",
+    )
+    for recordsize in sizes:
+        data = ratio_controlled_bytes(recordsize, 0.45, seed=recordsize)
+        for config in configs:
+            in_storage = config in ("dpcsd", "csd2000")
+            fs = ZfsModel(recordsize=recordsize, hook=make_hook(config),
+                          in_storage_device=in_storage,
+                          device_write_ratio=0.45 if in_storage else 1.0)
+            fs.write_record(0, data)
+            _, read_cost = fs.read_record(0)
+            update_cost = fs.update_record(0, data)
+            result.rows.append({
+                "recordsize": recordsize,
+                "config": config,
+                "read_us": read_cost.foreground_ns / 1000.0,
+                "update_us": update_cost.foreground_ns / 1000.0,
+            })
+    return result

@@ -1,0 +1,90 @@
+"""Figures 8 & 9: device microbenchmarks at 4 KB and 64 KB.
+
+For every device the paper benchmarks (CPU Snappy/Deflate/Zstd,
+QAT 8970, QAT 4xxx, DPZip) this reports saturated throughput and
+single-request latency for compression and decompression at the given
+chunk size.  Expected shapes at 4 KB (Figure 8): Snappy-CPU leads raw
+throughput; DPZip leads among ASICs (5.6/9.4 GB/s) with the lowest
+latencies (4.7/2.6 us); CPU Deflate is ~70 us per 4 KB; QAT 8970's
+PCIe round trips put it at 28/14 us vs. the on-chip 4xxx's 9/6 us.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, register
+from repro.hw.cpu import CpuSoftwareDevice
+from repro.hw.qat import Qat4xxx, Qat8970
+from repro.ssd.csd import DpzipDram
+from repro.workloads.corpus import build_corpus
+
+
+def _representative_chunk(chunk_bytes: int) -> bytes:
+    """A corpus-mix chunk whose ratio lands near the Silesia median."""
+    members = build_corpus(member_size=max(chunk_bytes, 64 * 1024))
+    # Stitch text+db+binary so the chunk is not one member's extreme.
+    blend = (members[0].data + members[5].data + members[1].data)
+    return blend[:chunk_bytes]
+
+
+def _cpu_rows(chunk: bytes, rows: list) -> None:
+    for algorithm in ("snappy", "deflate", "zstd"):
+        device = CpuSoftwareDevice(algorithm, level=1) \
+            if algorithm != "snappy" else CpuSoftwareDevice("snappy")
+        comp_gbps = device.aggregate_gbps(len(chunk))
+        decomp_gbps = device.aggregate_gbps(len(chunk), decompress=True)
+        rows.append({
+            "device": f"cpu-{algorithm}",
+            "comp_gbps": comp_gbps,
+            "decomp_gbps": decomp_gbps,
+            "comp_latency_us": device.single_thread_ns(len(chunk)) / 1000.0,
+            "decomp_latency_us": device.single_thread_ns(
+                len(chunk), decompress=True) / 1000.0,
+        })
+
+
+def _qat_rows(chunk: bytes, rows: list) -> None:
+    for device in (Qat8970(), Qat4xxx()):
+        comp = device.compress(chunk)
+        decomp = device.decompress(comp.payload)
+        engines = device.engine_count
+        rows.append({
+            "device": device.name,
+            "comp_gbps": engines * len(chunk) / comp.engine_busy_ns,
+            "decomp_gbps": engines * len(chunk) / decomp.engine_busy_ns,
+            "comp_latency_us": comp.latency.total_us,
+            "decomp_latency_us": decomp.latency.total_us,
+        })
+
+
+def _dpzip_rows(chunk: bytes, rows: list) -> None:
+    device = DpzipDram(physical_pages=4096)
+    comp = device.compress(chunk)
+    decomp = device.decompress(comp.payload)
+    rows.append({
+        "device": "dpzip",
+        "comp_gbps": device.device_throughput_gbps(comp, write=True),
+        "decomp_gbps": device.device_throughput_gbps(decomp, write=False),
+        "comp_latency_us": comp.latency.total_us,
+        "decomp_latency_us": decomp.latency.total_us,
+    })
+
+
+def _run(chunk_bytes: int, experiment_id: str, title: str) -> ExperimentResult:
+    chunk = _representative_chunk(chunk_bytes)
+    result = ExperimentResult(experiment_id=experiment_id, title=title)
+    _cpu_rows(chunk, result.rows)
+    _qat_rows(chunk, result.rows)
+    _dpzip_rows(chunk, result.rows)
+    return result
+
+
+@register("fig8")
+def run_fig8(quick: bool = True) -> ExperimentResult:
+    return _run(4096, "fig8",
+                "4 KB microbenchmark: throughput (GB/s) and latency (us)")
+
+
+@register("fig9")
+def run_fig9(quick: bool = True) -> ExperimentResult:
+    return _run(65536, "fig9",
+                "64 KB microbenchmark: throughput (GB/s) and latency (us)")

@@ -1,0 +1,58 @@
+"""Finding 14: multi-device and multi-thread scalability.
+
+QAT 4xxx scales linearly but only to the socket count (2 devices:
+4.77 -> 9.54 GB/s); DP-CSD scales near-linearly with PCIe slots
+(12.5 GB/s -> 98.6 GB/s at 8 drives, 24-slot platform ceiling).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentResult, register
+from repro.platform.server import Server
+
+#: Calibrated single-device rates (64 KB requests, corpus data).
+_QAT4XXX_GBPS = 4.77
+_DPCSD_GBPS = 12.5
+_QAT8970_GBPS = 5.1
+#: Per-added-device efficiency for DP-CSD (near-linear, Finding 14).
+_DPCSD_SCALING = 0.9857
+
+
+def dpcsd_aggregate(devices: int) -> float:
+    """Aggregate GB/s for N DP-CSDs (mild fan-out loss)."""
+    return _DPCSD_GBPS * devices * (_DPCSD_SCALING ** (devices - 1))
+
+
+@register("scalability")
+def run(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="scalability",
+        title="Multi-device compression scaling (GB/s)",
+        notes="QAT 4xxx capped by sockets; DP-CSD by the 24 PCIe slots",
+    )
+    server = Server()
+    for devices in (1, 2, 3, 4):
+        row = {"devices": devices}
+        if devices <= server.max_onchip_accelerators:
+            row["qat4xxx_gbps"] = _QAT4XXX_GBPS * devices
+        else:
+            row["qat4xxx_gbps"] = None  # no more sockets
+        row["qat8970_gbps"] = _QAT8970_GBPS * devices
+        row["dpcsd_gbps"] = dpcsd_aggregate(devices)
+        result.rows.append(row)
+    for devices in (6, 8, 16, 24):
+        result.rows.append({
+            "devices": devices,
+            "qat4xxx_gbps": None,
+            "qat8970_gbps": _QAT8970_GBPS * devices,
+            "dpcsd_gbps": dpcsd_aggregate(devices),
+        })
+    # Exceeding the slot budget must fail (platform constraint).
+    probe = Server()
+    try:
+        probe.attach_pcie_device(25)
+        raise AssertionError("expected slot exhaustion")
+    except ConfigurationError:
+        pass
+    return result

@@ -1,0 +1,108 @@
+"""Tables 1 and 2 of the paper.
+
+Table 1 is the testbed/spec catalog; Table 2 is the qualitative
+CPU-vs-placement capability matrix.  Both are generated from the model
+layer (not hand-copied) so they stay consistent with the code.
+"""
+
+from __future__ import annotations
+
+from repro.devices.specs import TABLE1_CDPUS, TABLE1_SERVER
+from repro.experiments.common import ExperimentResult, register
+from repro.hw.engine import Placement
+
+
+@register("table1")
+def run_table1(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Testbed configuration (server + CDPU catalog)",
+    )
+    server = TABLE1_SERVER
+    result.rows.append({
+        "kind": "server",
+        "name": server.name,
+        "detail": (f"{server.ddr_channels}x{server.ddr_type} "
+                   f"{server.local_latency_ns:.0f}/{server.remote_latency_ns:.0f}ns "
+                   f"{server.local_bandwidth_gbps:.0f}/{server.remote_bandwidth_gbps:.0f}GB/s"),
+        "extra": (f"{server.cores} cores @ {server.frequency_ghz}GHz, "
+                  f"{server.l1d_kb}KB/{server.l2_mb}MB/{server.l3_mb}MB"),
+    })
+    for record in TABLE1_CDPUS:
+        result.rows.append({
+            "kind": "cdpu",
+            "name": record.name,
+            "detail": (f"{record.instances}, {record.placement.value}, "
+                       f"{record.interconnect}"),
+            "extra": (f"{record.algorithm}, "
+                      f"{record.spec_comp_gbps:.0f}/"
+                      f"{record.spec_decomp_gbps:.0f} Gbps (C/D)"),
+        })
+    return result
+
+
+#: Table 2's capability matrix, derived from placement properties.
+_CRITERIA = (
+    "cpu_offloading",
+    "compression_acceleration",
+    "cost_reduction",
+    "power_efficiency",
+    "multi_thread_scalability",
+    "multi_device_scalability",
+    "plug_and_play",
+    "compression_ratio",
+    "algorithm_configurability",
+)
+
+
+def capability_matrix() -> dict[str, dict[str, bool]]:
+    """Capability truth table keyed by placement column."""
+    def row(**kw: bool) -> dict[str, bool]:
+        return {criterion: kw[criterion] for criterion in _CRITERIA}
+
+    return {
+        "cpu": row(
+            cpu_offloading=False, compression_acceleration=False,
+            cost_reduction=True, power_efficiency=False,
+            multi_thread_scalability=True, multi_device_scalability=False,
+            plug_and_play=False, compression_ratio=True,
+            algorithm_configurability=True,
+        ),
+        "peripheral": row(
+            cpu_offloading=True, compression_acceleration=True,
+            cost_reduction=True, power_efficiency=True,
+            multi_thread_scalability=True, multi_device_scalability=True,
+            plug_and_play=False, compression_ratio=True,
+            algorithm_configurability=True,
+        ),
+        "on-chip": row(
+            cpu_offloading=True, compression_acceleration=True,
+            cost_reduction=True, power_efficiency=True,
+            multi_thread_scalability=True, multi_device_scalability=False,
+            plug_and_play=False, compression_ratio=True,
+            algorithm_configurability=True,
+        ),
+        "in-storage": row(
+            cpu_offloading=True, compression_acceleration=True,
+            cost_reduction=True, power_efficiency=True,
+            multi_thread_scalability=True, multi_device_scalability=True,
+            plug_and_play=True, compression_ratio=True,
+            algorithm_configurability=False,
+        ),
+    }
+
+
+@register("table2")
+def run_table2(quick: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id="table2",
+        title="CPU vs hardware CDPU capability matrix",
+    )
+    matrix = capability_matrix()
+    for criterion in _CRITERIA:
+        result.rows.append({
+            "criterion": criterion,
+            **{column: ("yes" if matrix[column][criterion] else "no")
+               for column in ("cpu", "peripheral", "on-chip", "in-storage")},
+        })
+    return result

@@ -1,0 +1,41 @@
+"""Hardware device models: DPZip ASIC, QAT generations, CPU baseline."""
+
+from repro.hw.cpu import CPU_COSTS, CpuSoftwareDevice, CpuSpec
+from repro.hw.dpzip import DpzipEngine, DpzipEngineSpec
+from repro.hw.engine import (
+    CdpuDevice,
+    PhaseLatency,
+    Placement,
+    RequestResult,
+    ServiceProfile,
+)
+from repro.hw.floorplan import Floorplan
+from repro.hw.power import (
+    DEVICE_POWER,
+    efficiency_mb_per_joule,
+    efficiency_ops_per_joule,
+    net_power_w,
+)
+from repro.hw.qat import Qat4xxx, Qat8970, QatDevice, QatSpec
+
+__all__ = [
+    "CPU_COSTS",
+    "CdpuDevice",
+    "CpuSoftwareDevice",
+    "CpuSpec",
+    "DEVICE_POWER",
+    "DpzipEngine",
+    "DpzipEngineSpec",
+    "Floorplan",
+    "PhaseLatency",
+    "Placement",
+    "Qat4xxx",
+    "Qat8970",
+    "QatDevice",
+    "QatSpec",
+    "RequestResult",
+    "ServiceProfile",
+    "efficiency_mb_per_joule",
+    "efficiency_ops_per_joule",
+    "net_power_w",
+]

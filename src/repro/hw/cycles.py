@@ -1,0 +1,51 @@
+"""Cycle accounting helpers shared by the device models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+def cycles_to_ns(cycles: float, frequency_ghz: float) -> float:
+    """Convert engine cycles to nanoseconds at ``frequency_ghz``."""
+    if frequency_ghz <= 0:
+        raise ConfigurationError(f"frequency must be > 0, got {frequency_ghz}")
+    return cycles / frequency_ghz
+
+
+def ns_to_cycles(ns: float, frequency_ghz: float) -> float:
+    return ns * frequency_ghz
+
+
+@dataclass
+class PipelineAccount:
+    """Per-stage cycle tally for a pipelined engine.
+
+    A pipelined datapath's *throughput* is set by its slowest stage
+    while its *latency* adds the fill depth; :meth:`bottleneck_cycles`
+    and :meth:`latency_cycles` expose both views.
+    """
+
+    stages: dict[str, float] = field(default_factory=dict)
+    fill_depth_cycles: float = 64.0
+
+    def charge(self, stage: str, cycles: float) -> None:
+        if cycles < 0:
+            raise ConfigurationError(f"negative cycle charge for {stage}")
+        self.stages[stage] = self.stages.get(stage, 0.0) + cycles
+
+    def bottleneck_cycles(self) -> float:
+        """Steady-state occupancy: the slowest stage's cycle count."""
+        if not self.stages:
+            return 0.0
+        return max(self.stages.values())
+
+    def bottleneck_stage(self) -> str:
+        if not self.stages:
+            return "idle"
+        return max(self.stages, key=self.stages.get)
+
+    def latency_cycles(self) -> float:
+        """Single-request latency: bottleneck plus pipeline fill."""
+        return self.bottleneck_cycles() + self.fill_depth_cycles

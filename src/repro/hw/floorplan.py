@@ -1,0 +1,87 @@
+"""SSD-controller die-area model (paper Figure 3).
+
+DPZip occupies 6 mm^2 (4.5%) of the 132 mm^2 controller in a 12 nm
+process.  The model decomposes that budget into the SRAM-coupled units
+the floorplan shows (LZ77 enc/dec, Huffman enc/dec, FSE enc/dec plus
+their staging SRAM) and supports the §6 discussion: each additional
+algorithm would scale the area cost again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+CONTROLLER_AREA_MM2 = 132.0
+DPZIP_AREA_MM2 = 6.0
+
+
+@dataclass
+class AreaBlock:
+    """One floorplan unit with logic and SRAM contributions."""
+
+    name: str
+    logic_mm2: float
+    sram_kib: float
+    #: 12 nm SRAM density: ~0.25 mm^2 per Mbit.
+    sram_mm2_per_mbit: float = 0.25
+
+    @property
+    def sram_mm2(self) -> float:
+        return self.sram_kib * 8 / 1024 * self.sram_mm2_per_mbit
+
+    @property
+    def total_mm2(self) -> float:
+        return self.logic_mm2 + self.sram_mm2
+
+
+def default_dpzip_floorplan() -> list[AreaBlock]:
+    """A plausible decomposition of the 6 mm^2 DPZip block."""
+    return [
+        AreaBlock("lz77-encoder", logic_mm2=1.10, sram_kib=96),
+        AreaBlock("lz77-decoder", logic_mm2=0.55, sram_kib=72),
+        AreaBlock("huffman-encoder", logic_mm2=0.65, sram_kib=24),
+        AreaBlock("huffman-decoder", logic_mm2=0.50, sram_kib=24),
+        AreaBlock("fse-encoder", logic_mm2=0.60, sram_kib=32),
+        AreaBlock("fse-decoder", logic_mm2=0.55, sram_kib=32),
+        AreaBlock("staging-sram", logic_mm2=0.10, sram_kib=512),
+        AreaBlock("control-dma", logic_mm2=0.45, sram_kib=16),
+    ]
+
+
+@dataclass
+class Floorplan:
+    """Area accounting for a CDPU block inside a controller die."""
+
+    controller_mm2: float = CONTROLLER_AREA_MM2
+    blocks: list[AreaBlock] = field(default_factory=default_dpzip_floorplan)
+
+    @property
+    def cdpu_mm2(self) -> float:
+        return sum(block.total_mm2 for block in self.blocks)
+
+    @property
+    def cdpu_fraction(self) -> float:
+        return self.cdpu_mm2 / self.controller_mm2
+
+    @property
+    def sram_fraction_of_cdpu(self) -> float:
+        sram = sum(block.sram_mm2 for block in self.blocks)
+        total = self.cdpu_mm2
+        return sram / total if total else 0.0
+
+    def with_additional_algorithm(self, scale: float = 0.8) -> "Floorplan":
+        """Area if one more algorithm were added (§6's scaling concern).
+
+        ``scale`` approximates sharing of staging SRAM and control.
+        """
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be > 0, got {scale}")
+        extra = [
+            AreaBlock(f"alg2-{block.name}", block.logic_mm2 * scale,
+                      block.sram_kib * scale)
+            for block in self.blocks
+            if not block.name.startswith(("staging", "control"))
+        ]
+        return Floorplan(self.controller_mm2, self.blocks + extra)

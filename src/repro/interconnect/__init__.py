@@ -1,0 +1,23 @@
+"""Interconnect models: PCIe, coherent-mesh DDIO, controller AXI."""
+
+from repro.interconnect.axi import AxiPath, AxiSpec
+from repro.interconnect.ddio import DdioPath, DdioSpec
+from repro.interconnect.pcie import (
+    PcieLink,
+    PcieLinkSpec,
+    csd2000_link,
+    dpcsd_link,
+    qat8970_link,
+)
+
+__all__ = [
+    "AxiPath",
+    "AxiSpec",
+    "DdioPath",
+    "DdioSpec",
+    "PcieLink",
+    "PcieLinkSpec",
+    "csd2000_link",
+    "dpcsd_link",
+    "qat8970_link",
+]

@@ -1,0 +1,41 @@
+"""On-controller AXI path (in-storage CDPU attachment).
+
+DPZip sits on the SSD controller's main interconnect next to the shared
+buffer memory (paper Figure 3/4): data staged in on-chip SRAM streams
+through the engine with no host round trips at all — the structural
+reason in-storage placement wins on latency (Finding 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AxiSpec:
+    """Controller-internal bus parameters (PCIe 5.0-class SoC)."""
+
+    base_ns: float = 120.0
+    stream_gbps: float = 32.0
+    burst_bytes: int = 256
+
+
+class AxiPath:
+    """Latency calculator for SBM <-> DPZip transfers."""
+
+    def __init__(self, spec: AxiSpec | None = None) -> None:
+        self.spec = spec or AxiSpec()
+        self.bytes_moved = 0
+
+    def transfer_ns(self, nbytes: int) -> float:
+        """Stream ``nbytes`` between SBM and the engine."""
+        self.bytes_moved += nbytes
+        return self.spec.base_ns + nbytes / self.spec.stream_gbps
+
+    def doorbell_ns(self) -> float:
+        """Firmware-issued engine kick (register write)."""
+        return 40.0
+
+    def completion_ns(self) -> float:
+        """Engine completion flag observed by firmware."""
+        return 60.0

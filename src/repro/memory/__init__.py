@@ -1,0 +1,14 @@
+"""SRAM / DRAM / LLC timing models."""
+
+from repro.memory.cache import LlcModel, LlcSpec
+from repro.memory.dram import DramModel, DramSpec
+from repro.memory.sram import SramBuffer, SramSpec
+
+__all__ = [
+    "DramModel",
+    "DramSpec",
+    "LlcModel",
+    "LlcSpec",
+    "SramBuffer",
+    "SramSpec",
+]

@@ -1,0 +1,43 @@
+"""DRAM timing model (testbed: DDR5-4800, Table 1).
+
+Captures the local/remote NUMA split the paper's testbed reports
+(110 ns / 198 ns load latency, 128 / 108 GB/s bandwidth) so data-path
+models can charge memory-side costs for descriptor and payload access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DramSpec:
+    """One socket's memory subsystem (paper Table 1, SPR2S row)."""
+
+    channels: int = 4
+    local_latency_ns: float = 110.0
+    remote_latency_ns: float = 198.0
+    local_bandwidth_gbps: float = 128.0
+    remote_bandwidth_gbps: float = 108.0
+
+
+class DramModel:
+    """Latency/bandwidth calculator for host memory accesses."""
+
+    def __init__(self, spec: DramSpec | None = None) -> None:
+        self.spec = spec or DramSpec()
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def access_ns(self, nbytes: int, remote: bool = False,
+                  write: bool = False) -> float:
+        """Streaming access time: first-word latency + transfer."""
+        spec = self.spec
+        latency = spec.remote_latency_ns if remote else spec.local_latency_ns
+        bandwidth = (spec.remote_bandwidth_gbps if remote
+                     else spec.local_bandwidth_gbps)
+        if write:
+            self.bytes_written += nbytes
+        else:
+            self.bytes_read += nbytes
+        return latency + nbytes / bandwidth

@@ -1,0 +1,65 @@
+"""On-chip SRAM models (SSD controller Shared Buffer Memory, DPZip
+staging buffers).
+
+The paper stresses SRAM as *the* critical constraint for in-storage
+CDPUs (§3.2.2): hash tables, literal/history buffers and staging space
+all compete for die area.  This model provides byte-accurate capacity
+accounting plus simple latency/bandwidth figures used by the AXI path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CapacityError, ConfigurationError
+
+
+@dataclass
+class SramSpec:
+    """Capacity and timing of one SRAM macro."""
+
+    capacity_bytes: int
+    read_latency_ns: float = 2.0
+    write_latency_ns: float = 2.0
+    bandwidth_gbps: float = 64.0  # GB/s, dual-port macro
+    #: Approximate silicon density used by the floorplan model
+    #: (~0.25 mm^2 per Mb in a 12 nm process).
+    mm2_per_mbit: float = 0.25
+
+    @property
+    def area_mm2(self) -> float:
+        mbits = self.capacity_bytes * 8 / 1e6
+        return mbits * self.mm2_per_mbit
+
+
+class SramBuffer:
+    """A bounded staging buffer with explicit allocation accounting."""
+
+    def __init__(self, spec: SramSpec, name: str = "sram") -> None:
+        if spec.capacity_bytes <= 0:
+            raise ConfigurationError("SRAM capacity must be positive")
+        self.spec = spec
+        self.name = name
+        self.allocated = 0
+        self.peak_allocated = 0
+
+    def allocate(self, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ConfigurationError(f"negative allocation {nbytes}")
+        if self.allocated + nbytes > self.spec.capacity_bytes:
+            raise CapacityError(
+                f"{self.name}: {nbytes} B over capacity "
+                f"({self.allocated}/{self.spec.capacity_bytes} used)"
+            )
+        self.allocated += nbytes
+        self.peak_allocated = max(self.peak_allocated, self.allocated)
+
+    def free(self, nbytes: int) -> None:
+        if nbytes > self.allocated:
+            raise CapacityError(f"{self.name}: freeing more than allocated")
+        self.allocated -= nbytes
+
+    def transfer_ns(self, nbytes: int) -> float:
+        """Time to stream ``nbytes`` through the buffer."""
+        return (self.spec.read_latency_ns
+                + nbytes / self.spec.bandwidth_gbps)

@@ -1,0 +1,6 @@
+"""Host platform: server model and testbed assembly."""
+
+from repro.platform.server import Server, ServerSpec, SocketSpec
+from repro.platform.testbed import Testbed, build_testbed
+
+__all__ = ["Server", "ServerSpec", "SocketSpec", "Testbed", "build_testbed"]

@@ -1,0 +1,74 @@
+"""Host server model (paper Table 1: xFusion 2288H V7, dual 8458P).
+
+Aggregates sockets, memory and PCIe slots, and exposes the scalability
+constraints §5.5.1 measures: PCIe interface count caps peripheral and
+in-storage device fan-out at 24, while on-chip accelerators are bounded
+by the socket count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.memory.dram import DramModel, DramSpec
+
+
+@dataclass
+class SocketSpec:
+    """One CPU socket (Xeon Platinum 8458P)."""
+
+    cores: int = 44
+    threads: int = 88
+    frequency_ghz: float = 2.7
+    l3_mb: float = 82.5
+    on_chip_accelerators: int = 1  # embedded QAT 4xxx per socket
+
+
+@dataclass
+class ServerSpec:
+    """Dual-socket testbed parameters."""
+
+    sockets: int = 2
+    socket: SocketSpec = field(default_factory=SocketSpec)
+    dram: DramSpec = field(default_factory=DramSpec)
+    pcie_slots: int = 24  # platform ceiling measured in §5.5.1
+    idle_power_w: float = 320.0
+
+
+class Server:
+    """The host: thread pool, memory models, device attach points."""
+
+    def __init__(self, spec: ServerSpec | None = None) -> None:
+        self.spec = spec or ServerSpec()
+        self.dram = DramModel(self.spec.dram)
+        self._attached_pcie = 0
+        self._attached_onchip = 0
+
+    @property
+    def total_threads(self) -> int:
+        return self.spec.sockets * self.spec.socket.threads
+
+    @property
+    def max_onchip_accelerators(self) -> int:
+        """On-chip CDPUs are bounded by socket count (Finding 14)."""
+        return self.spec.sockets * self.spec.socket.on_chip_accelerators
+
+    def attach_pcie_device(self, count: int = 1) -> int:
+        """Claim PCIe slots; raises when the platform runs out."""
+        if self._attached_pcie + count > self.spec.pcie_slots:
+            raise ConfigurationError(
+                f"platform exposes {self.spec.pcie_slots} PCIe interfaces; "
+                f"{self._attached_pcie} already attached"
+            )
+        self._attached_pcie += count
+        return self._attached_pcie
+
+    def attach_onchip_accelerator(self, count: int = 1) -> int:
+        if self._attached_onchip + count > self.max_onchip_accelerators:
+            raise ConfigurationError(
+                f"only {self.max_onchip_accelerators} on-chip accelerators "
+                "exist on this platform"
+            )
+        self._attached_onchip += count
+        return self._attached_onchip

@@ -1,0 +1,56 @@
+"""Full testbed assembly (paper Figure 6 / Table 1).
+
+Builds the evaluation platform with all four hardware compression
+devices attached, exactly as the paper's server hosts them: two on-chip
+QAT 4xxx engines, one QAT 8970 card (three co-processors), one CSD 2000
+and one DP-CSD, plus the software baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.cpu import CpuSoftwareDevice
+from repro.hw.engine import CdpuDevice
+from repro.hw.qat import Qat4xxx, Qat8970
+from repro.platform.server import Server, ServerSpec
+from repro.ssd.csd import Csd2000, DpCsd, DpzipDram, PlainSsd
+
+
+@dataclass
+class Testbed:
+    """The assembled evaluation platform."""
+
+    server: Server
+    devices: dict[str, CdpuDevice] = field(default_factory=dict)
+
+    def device(self, name: str) -> CdpuDevice:
+        if name not in self.devices:
+            raise KeyError(
+                f"testbed has no device {name!r}; "
+                f"available: {sorted(self.devices)}"
+            )
+        return self.devices[name]
+
+    def device_names(self) -> list[str]:
+        return sorted(self.devices)
+
+
+def build_testbed(physical_pages: int = 4096,
+                  spec: ServerSpec | None = None) -> Testbed:
+    """Assemble the paper's testbed (Figure 6)."""
+    server = Server(spec)
+    server.attach_onchip_accelerator(2)   # one QAT 4xxx per socket
+    server.attach_pcie_device(3)          # 8970 card + CSD 2000 + DP-CSD
+    devices: dict[str, CdpuDevice] = {
+        "cpu-deflate": CpuSoftwareDevice("deflate", level=1),
+        "cpu-zstd": CpuSoftwareDevice("zstd", level=1),
+        "cpu-snappy": CpuSoftwareDevice("snappy"),
+        "qat8970": Qat8970(),
+        "qat4xxx": Qat4xxx(),
+        "csd2000": Csd2000(),
+        "dpcsd": DpCsd(physical_pages=physical_pages),
+        "dpzip": DpzipDram(physical_pages=physical_pages),
+        "ssd": PlainSsd(physical_pages=physical_pages),
+    }
+    return Testbed(server=server, devices=devices)

@@ -1,0 +1,6 @@
+"""Profiling: power metering and report formatting."""
+
+from repro.profiling.powermeter import PowerMeter, PowerSample
+from repro.profiling.report import format_table
+
+__all__ = ["PowerMeter", "PowerSample", "format_table"]

@@ -1,0 +1,74 @@
+"""BMC-style net-power measurement (paper §5.4 methodology).
+
+The paper samples server power out-of-band, subtracts idle power, and
+divides throughput by the net wattage.  :class:`PowerMeter` wraps that
+arithmetic around the component power models in :mod:`repro.hw.power`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.power import (
+    NetPowerBreakdown,
+    SERVER_IDLE_W,
+    efficiency_mb_per_joule,
+    efficiency_ops_per_joule,
+    net_power_w,
+)
+
+
+@dataclass
+class PowerSample:
+    """One workload's power and efficiency summary."""
+
+    config: str
+    net_w: float
+    runtime_w: float
+    throughput_gbps: float = 0.0
+    ops_per_second: float = 0.0
+
+    @property
+    def mb_per_joule(self) -> float:
+        return efficiency_mb_per_joule(self.throughput_gbps, self.net_w)
+
+    @property
+    def ops_per_joule(self) -> float:
+        return efficiency_ops_per_joule(self.ops_per_second, self.net_w)
+
+
+class PowerMeter:
+    """Computes net power for named device configurations."""
+
+    def __init__(self, idle_w: float = SERVER_IDLE_W) -> None:
+        self.idle_w = idle_w
+
+    def breakdown(self, config: str, device_count: int = 1,
+                  host_threads: int = 8,
+                  cpu_utilization: float = 1.0) -> NetPowerBreakdown:
+        return net_power_w(config, device_count, host_threads,
+                           cpu_utilization)
+
+    def sample_throughput(self, config: str, throughput_gbps: float,
+                          device_count: int = 1, host_threads: int = 8,
+                          cpu_utilization: float = 1.0) -> PowerSample:
+        power = self.breakdown(config, device_count, host_threads,
+                               cpu_utilization)
+        return PowerSample(
+            config=config,
+            net_w=power.total_w,
+            runtime_w=self.idle_w + power.total_w,
+            throughput_gbps=throughput_gbps,
+        )
+
+    def sample_ops(self, config: str, ops_per_second: float,
+                   device_count: int = 1, host_threads: int = 8,
+                   cpu_utilization: float = 1.0) -> PowerSample:
+        power = self.breakdown(config, device_count, host_threads,
+                               cpu_utilization)
+        return PowerSample(
+            config=config,
+            net_w=power.total_w,
+            runtime_w=self.idle_w + power.total_w,
+            ops_per_second=ops_per_second,
+        )

@@ -1,0 +1,25 @@
+"""Discrete-event simulation kernel and statistics collectors."""
+
+from repro.sim.engine import Event, Process, Resource, Simulator, Store
+from repro.sim.stats import (
+    LatencyRecorder,
+    ThroughputTracker,
+    TimeSeries,
+    coefficient_of_variation,
+    mean,
+    percentile,
+)
+
+__all__ = [
+    "Event",
+    "LatencyRecorder",
+    "Process",
+    "Resource",
+    "Simulator",
+    "Store",
+    "ThroughputTracker",
+    "TimeSeries",
+    "coefficient_of_variation",
+    "mean",
+    "percentile",
+]

@@ -1,0 +1,237 @@
+"""Minimal discrete-event simulation kernel.
+
+A deliberately small, dependency-free engine in the style of SimPy:
+*processes* are Python generators that ``yield`` events (timeouts,
+resource grants, other processes), and the :class:`Simulator` advances
+virtual time in nanoseconds.  Device service times are computed by the
+cycle models in :mod:`repro.hw`, so microbenchmark and system-level
+results share one timing source.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim):
+...     yield sim.timeout(5)
+...     log.append(sim.now)
+>>> _ = sim.spawn(worker(sim))
+>>> sim.run()
+>>> log
+[5.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A one-shot occurrence processes can wait on."""
+
+    __slots__ = ("sim", "_callbacks", "triggered", "fired", "value")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._callbacks: list[Callable[[Event], None]] = []
+        self.triggered = False
+        self.fired = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event; waiting processes resume this tick."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        self.sim._schedule_event(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback``; late registration still runs it."""
+        if self.fired:
+            # Waiting on an already-completed event resumes immediately
+            # (e.g. joining a process that finished earlier).
+            relay = Event(self.sim)
+            relay.add_callback(lambda _: callback(self))
+            relay.succeed(self.value)
+        else:
+            self._callbacks.append(callback)
+
+    def _fire(self) -> None:
+        self.fired = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Process(Event):
+    """A running generator; completes when the generator returns."""
+
+    __slots__ = ("_generator",)
+
+    def __init__(self, sim: "Simulator",
+                 generator: Generator[Event, Any, Any]) -> None:
+        super().__init__(sim)
+        self._generator = generator
+        # Kick off on the next simulation step at the current time.
+        start = Event(sim)
+        start.add_callback(self._resume)
+        start.succeed()
+
+    def _resume(self, event: Event) -> None:
+        try:
+            target = self._generator.send(event.value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {type(target).__name__}, expected Event"
+            )
+        target.add_callback(self._resume)
+
+
+class Simulator:
+    """Event loop with a nanosecond virtual clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """Event that triggers ``delay`` ns in the future."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        event = Event(self)
+        event.triggered = True  # scheduled, cannot be re-succeeded
+        event.value = value
+        heapq.heappush(self._queue, (self._now + delay,
+                                     next(self._sequence), event))
+        return event
+
+    def event(self) -> Event:
+        """Untriggered event for manual signalling."""
+        return Event(self)
+
+    def spawn(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start a process from a generator."""
+        return Process(self, generator)
+
+    def _schedule_event(self, event: Event) -> None:
+        heapq.heappush(self._queue, (self._now, next(self._sequence), event))
+
+    def run(self, until: float | None = None) -> None:
+        """Run until the queue drains or virtual time passes ``until``."""
+        while self._queue:
+            when, _, event = self._queue[0]
+            if until is not None and when > until:
+                self._now = until
+                return
+            heapq.heappop(self._queue)
+            if when < self._now - 1e-9:
+                raise SimulationError("event scheduled in the past")
+            self._now = when
+            event._fire()
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        """Event that triggers once every listed event has triggered."""
+        events = list(events)
+        gate = Event(self)
+        remaining = len(events)
+        if remaining == 0:
+            gate.succeed([])
+            return gate
+        results: list[Any] = [None] * remaining
+        state = {"left": remaining}
+
+        def make_callback(index: int) -> Callable[[Event], None]:
+            def callback(event: Event) -> None:
+                results[index] = event.value
+                state["left"] -= 1
+                if state["left"] == 0:
+                    gate.succeed(results)
+            return callback
+
+        for index, event in enumerate(events):
+            event.add_callback(make_callback(index))
+        return gate
+
+
+class Resource:
+    """FIFO resource with fixed capacity (PCIe queue slots, engines...)."""
+
+    def __init__(self, sim: Simulator, capacity: int) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiting: list[Event] = []
+        self.total_acquisitions = 0
+        self.peak_in_use = 0
+
+    def acquire(self) -> Event:
+        """Event that triggers when a slot is granted."""
+        event = Event(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            self.peak_in_use = max(self.peak_in_use, self.in_use)
+            self.total_acquisitions += 1
+            event.succeed()
+        else:
+            self._waiting.append(event)
+        return event
+
+    def release(self) -> None:
+        """Free a slot; the oldest waiter (if any) is granted."""
+        if self.in_use <= 0:
+            raise SimulationError("release without acquire")
+        if self._waiting:
+            waiter = self._waiting.pop(0)
+            self.total_acquisitions += 1
+            waiter.succeed()
+        else:
+            self.in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+
+class Store:
+    """Unbounded FIFO queue of items passed between processes."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._items: list[Any] = []
+        self._getters: list[Event] = []
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.pop(0).succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.pop(0))
+        else:
+            self._getters.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,124 @@
+"""Statistics collectors shared by profiling and experiments.
+
+Provides the exact metrics the paper reports: average/percentile
+latency, throughput over a window, and per-tenant coefficient of
+variation (Finding 15 contrasts CV < 0.5% vs CV > 50%).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Linear-interpolated percentile; ``fraction`` in [0, 1]."""
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction {fraction} outside [0, 1]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    value = ordered[low] * (1 - weight) + ordered[high] * weight
+    # Clamp: interpolation rounding must never escape the sample range.
+    return min(max(value, ordered[0]), ordered[-1])
+
+
+def mean(samples: list[float]) -> float:
+    if not samples:
+        raise ValueError("mean of empty sample set")
+    return sum(samples) / len(samples)
+
+
+def coefficient_of_variation(samples: list[float]) -> float:
+    """stdev/mean, as a fraction (multiply by 100 for the paper's %)."""
+    if len(samples) < 2:
+        return 0.0
+    avg = mean(samples)
+    if avg == 0:
+        return 0.0
+    variance = sum((s - avg) ** 2 for s in samples) / (len(samples) - 1)
+    return math.sqrt(variance) / avg
+
+
+@dataclass
+class LatencyRecorder:
+    """Collects latency samples (ns) and summarizes them."""
+
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, latency_ns: float) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency {latency_ns}")
+        self.samples.append(latency_ns)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean_us(self) -> float:
+        return mean(self.samples) / 1000.0
+
+    def percentile_us(self, fraction: float) -> float:
+        return percentile(self.samples, fraction) / 1000.0
+
+
+@dataclass
+class ThroughputTracker:
+    """Accumulates (bytes, duration) into GB/s figures."""
+
+    total_bytes: int = 0
+    busy_ns: float = 0.0
+
+    def record(self, nbytes: int, duration_ns: float) -> None:
+        self.total_bytes += nbytes
+        self.busy_ns += duration_ns
+
+    def gbps(self, wall_ns: float | None = None) -> float:
+        """GB/s over ``wall_ns`` (or accumulated busy time)."""
+        elapsed = self.busy_ns if wall_ns is None else wall_ns
+        if elapsed <= 0:
+            return 0.0
+        return self.total_bytes / elapsed  # bytes/ns == GB/s
+
+
+@dataclass
+class TimeSeries:
+    """Fixed-interval aggregation for throughput-over-time traces.
+
+    Figure 20 plots per-second per-VM throughput for 100 s; this bins
+    completions into intervals and reports the per-interval MB/s series
+    plus its coefficient of variation.
+    """
+
+    interval_ns: float
+    _bins: dict[int, float] = field(default_factory=dict)
+
+    def record(self, time_ns: float, nbytes: int) -> None:
+        index = int(time_ns // self.interval_ns)
+        self._bins[index] = self._bins.get(index, 0.0) + nbytes
+
+    def series_mbps(self, start: int = 0, end: int | None = None) -> list[float]:
+        """MB/s per interval over [start, end) bins; gaps read as zero."""
+        if not self._bins:
+            return []
+        last = max(self._bins) + 1 if end is None else end
+        seconds = self.interval_ns / 1e9
+        return [
+            self._bins.get(i, 0.0) / 1e6 / seconds
+            for i in range(start, last)
+        ]
+
+    def cv_percent(self, drop_warmup: int = 1) -> float:
+        """CV (%) of the per-interval series, skipping warm-up bins."""
+        series = self.series_mbps()[drop_warmup:]
+        if len(series) < 2:
+            return 0.0
+        return coefficient_of_variation(series) * 100.0

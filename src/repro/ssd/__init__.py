@@ -1,0 +1,35 @@
+"""SSD substrate: NAND, ECC, compression-aware FTL, controller, CSDs."""
+
+from repro.ssd.controller import ControllerSpec, IoOutcome, SsdController
+from repro.ssd.csd import Csd2000, DpCsd, DpzipDram, PlainSsd
+from repro.ssd.ecc import EccEngine, EccScheme, EccSpec
+from repro.ssd.ftl import (
+    PAGE_BYTES,
+    CompressingFtl,
+    FtlStats,
+    ReadReport,
+    SegmentRef,
+    WriteReport,
+)
+from repro.ssd.nand import NandArray, NandSpec
+
+__all__ = [
+    "PAGE_BYTES",
+    "CompressingFtl",
+    "ControllerSpec",
+    "Csd2000",
+    "DpCsd",
+    "DpzipDram",
+    "EccEngine",
+    "EccScheme",
+    "EccSpec",
+    "FtlStats",
+    "IoOutcome",
+    "NandArray",
+    "NandSpec",
+    "PlainSsd",
+    "ReadReport",
+    "SegmentRef",
+    "SsdController",
+    "WriteReport",
+]

@@ -1,0 +1,195 @@
+"""SSD controller SoC model (paper §4.1, Figure 4).
+
+Composes the blocks Figure 4 shows: PCIe/NVMe front end, Queue Manager
+firmware on the embedded cores, Shared Buffer Memory (SBM) staging in
+high-speed SRAM, the DPZip engine on the AXI interconnect, ECC, and the
+flash controller feeding NAND.  The write path is:
+
+host -> DMA into SBM -> DPZip compress -> FTL pack -> ECC -> NAND
+
+and reads run the inverse with inline decompression, keeping the device
+fully application-transparent (Finding 8's "host-transparent" property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.dpzip_codec import DpzipCodec
+from repro.hw.dpzip import DpzipEngine
+from repro.hw.engine import PhaseLatency
+from repro.interconnect.pcie import PcieLink, dpcsd_link
+from repro.memory.sram import SramBuffer, SramSpec
+from repro.ssd.ecc import EccEngine
+from repro.ssd.ftl import PAGE_BYTES, CompressingFtl, ReadReport, WriteReport
+from repro.ssd.nand import NandArray
+
+
+@dataclass
+class ControllerSpec:
+    """Firmware and staging parameters."""
+
+    queue_manager_write_ns: float = 500.0
+    queue_manager_read_ns: float = 350.0
+    ftl_lookup_ns: float = 150.0
+    ftl_update_ns: float = 250.0
+    sbm_bytes: int = 16 * 1024 * 1024
+    #: Host-path request ceilings (NVMe stack + QM dispatch); these are
+    #: what pins 4 KB microbenchmark throughput below the engine rate
+    #: (§5.3: FIO "introduc[es] IO stack overheads").
+    write_iops_ceiling: float = 1.40e6
+    read_iops_ceiling: float = 2.35e6
+
+
+@dataclass
+class IoOutcome:
+    """One host IO through the controller."""
+
+    latency: PhaseLatency
+    nand_service_ns: float
+    engine_busy_ns: float
+    compressed_size: int
+    report: object = None
+
+
+class SsdController:
+    """Controller with optional inline compression.
+
+    ``engine=None`` models a conventional SSD (the paper's OFF/SSD
+    baseline); otherwise the DPZip engine compresses every page.
+    ``nand=None`` substitutes DRAM for NAND — the paper's "DPZip"
+    configuration in Figure 12, isolating the engine from the medium.
+    """
+
+    def __init__(
+        self,
+        physical_pages: int,
+        engine: DpzipEngine | None = None,
+        nand: NandArray | None = None,
+        spec: ControllerSpec | None = None,
+        link: PcieLink | None = None,
+        ecc: EccEngine | None = None,
+    ) -> None:
+        self.spec = spec or ControllerSpec()
+        self.engine = engine
+        self.nand = nand
+        self.link = link or dpcsd_link()
+        self.ecc = ecc or EccEngine()
+        self.sbm = SramBuffer(SramSpec(self.spec.sbm_bytes), name="sbm")
+        codec = engine.codec if engine else _IdentityCodec()
+        self.ftl = CompressingFtl(
+            physical_pages,
+            compress=codec.compress_bytes if engine else codec.compress,
+            decompress=codec.decompress,
+        )
+        self._dram_gbps = 12.0  # controller-attached DDR for DRAM mode
+
+    # -- media timing ----------------------------------------------------------
+
+    def _media_write_ns(self, nbytes: int) -> tuple[float, float]:
+        """(latency, service) to persist ``nbytes``."""
+        stored = self.ecc.stored_bytes(nbytes)
+        if self.nand is None:
+            ns = stored / self._dram_gbps
+            return ns, ns
+        return (self.nand.program_latency_ns(stored),
+                self.nand.program_ns(stored))
+
+    def _media_read_ns(self, nbytes: int, pages: int) -> tuple[float, float]:
+        stored = self.ecc.stored_bytes(nbytes)
+        if self.nand is None:
+            ns = stored / self._dram_gbps
+            return ns, ns
+        latency = self.nand.read_latency_ns(stored) * max(pages, 1) ** 0.5
+        return latency, self.nand.read_service_ns(stored)
+
+    # -- host IOs ---------------------------------------------------------------
+
+    def write_page(self, lpn: int, data: bytes) -> IoOutcome:
+        """Host 4 KB write through the full compression path."""
+        spec = self.spec
+        submit = self.link.doorbell_ns()
+        dma_in = self.link.dma_read_ns(len(data))
+        firmware = spec.queue_manager_write_ns + spec.ftl_update_ns
+
+        if self.engine is not None:
+            request = self.engine.compress(data)
+            engine_busy = request.engine_busy_ns
+            compute = request.latency.compute_ns
+            report: WriteReport = self.ftl.write_blob(lpn, request.payload)
+        else:
+            engine_busy = 0.0
+            compute = 0.0
+            report = self.ftl.write(lpn, data)
+        ecc_ns = self.ecc.encode_ns(report.compressed_size)
+        media_latency, media_service = self._media_write_ns(
+            report.compressed_size
+        )
+        # Buffered write: the host sees SBM acknowledgement, not the die
+        # program (sub-10 us SSD write latency, §5.2.3).
+        latency = PhaseLatency(
+            submit_ns=submit,
+            read_ns=dma_in,
+            compute_ns=compute,
+            write_ns=ecc_ns + min(media_latency, 1200.0),
+            complete_ns=self.link.completion_ns() * 0.25,
+            firmware_ns=firmware,
+        )
+        return IoOutcome(
+            latency=latency,
+            nand_service_ns=media_service,
+            engine_busy_ns=engine_busy,
+            compressed_size=report.compressed_size,
+            report=report,
+        )
+
+    def read_page(self, lpn: int) -> tuple[bytes, IoOutcome]:
+        """Host 4 KB read with inline decompression."""
+        from repro.hw.cycles import cycles_to_ns
+
+        spec = self.spec
+        blob, report = self.ftl.read_segments(lpn)
+        segments_bytes = report.compressed_size
+        media_latency, media_service = self._media_read_ns(
+            segments_bytes, report.pages_read
+        )
+        ecc_ns = self.ecc.decode_ns(segments_bytes)
+        if self.engine is not None:
+            data, stats = self.engine.codec.decompress_with_stats(blob)
+            pipeline = self.engine.decompression_cycles(
+                stats, segments_bytes, len(data)
+            )
+            freq = self.engine.spec.frequency_ghz
+            engine_busy = cycles_to_ns(pipeline.bottleneck_cycles(), freq)
+            compute = cycles_to_ns(pipeline.latency_cycles(), freq)
+        else:
+            data = blob
+            engine_busy = 0.0
+            compute = 0.0
+        latency = PhaseLatency(
+            submit_ns=self.link.doorbell_ns(),
+            read_ns=media_latency + ecc_ns,
+            compute_ns=compute,
+            write_ns=self.link.dma_write_ns(len(data)),
+            complete_ns=self.link.completion_ns() * 0.25,
+            firmware_ns=spec.queue_manager_read_ns + spec.ftl_lookup_ns,
+        )
+        return data, IoOutcome(
+            latency=latency,
+            nand_service_ns=media_service,
+            engine_busy_ns=engine_busy,
+            compressed_size=segments_bytes,
+            report=report,
+        )
+
+
+class _IdentityCodec:
+    """No-op codec for the conventional-SSD configuration."""
+
+    @staticmethod
+    def compress(data: bytes) -> bytes:
+        return data
+
+    @staticmethod
+    def decompress(payload: bytes) -> bytes:
+        return payload

@@ -1,0 +1,59 @@
+"""Error-correction coding cost model (paper §4.2).
+
+DP-CSD applies BCH or LDPC to every flash page plus multi-page parity.
+The model charges storage overhead (parity fraction) and a small
+pipeline latency; both are inputs to the FTL's space accounting and the
+controller's read path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class EccScheme(enum.Enum):
+    BCH = "bch"
+    LDPC = "ldpc"
+
+
+@dataclass
+class EccSpec:
+    scheme: EccScheme = EccScheme.LDPC
+    #: Parity bytes per data byte (LDPC ~ 10%, BCH ~ 7% at these sizes).
+    parity_fraction: float = 0.10
+    encode_ns_per_kb: float = 90.0
+    decode_ns_per_kb: float = 140.0
+    #: Soft-decode retry probability and penalty (worn blocks).
+    retry_probability: float = 0.0
+    retry_penalty_ns: float = 25_000.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.parity_fraction < 1.0:
+            raise ConfigurationError("parity_fraction must be in [0, 1)")
+
+
+class EccEngine:
+    """Parity sizing and encode/decode latency."""
+
+    def __init__(self, spec: EccSpec | None = None) -> None:
+        self.spec = spec or EccSpec()
+        self.encoded_bytes = 0
+        self.decoded_bytes = 0
+
+    def stored_bytes(self, payload_bytes: int) -> int:
+        """Payload plus parity as written to the flash array."""
+        return payload_bytes + int(payload_bytes * self.spec.parity_fraction)
+
+    def encode_ns(self, payload_bytes: int) -> float:
+        self.encoded_bytes += payload_bytes
+        return payload_bytes / 1024.0 * self.spec.encode_ns_per_kb
+
+    def decode_ns(self, payload_bytes: int, worn: bool = False) -> float:
+        self.decoded_bytes += payload_bytes
+        base = payload_bytes / 1024.0 * self.spec.decode_ns_per_kb
+        if worn and self.spec.retry_probability > 0.0:
+            base += self.spec.retry_probability * self.spec.retry_penalty_ns
+        return base

@@ -1,0 +1,81 @@
+"""NAND flash timing model (DP-CSD's storage medium).
+
+Models a TLC array organized as channels x dies x planes with ONFI
+channel transfer.  Writes are die-program limited (~660 us per 16 KB
+page), reads are channel-transfer limited — the asymmetry that makes
+DP-CSD's *write* path benefit most from compression (fewer programs)
+and explains why DP-CSD shows no throughput recovery on incompressible
+data in Figure 12 (raw pages still must be programmed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class NandSpec:
+    """Array geometry and timing (enterprise TLC, PCIe 5.0 class)."""
+
+    channels: int = 16
+    dies_per_channel: int = 4
+    planes_per_die: int = 4
+    page_bytes: int = 16384
+    program_ns: float = 660_000.0
+    read_ns: float = 60_000.0
+    erase_ns: float = 3_000_000.0
+    channel_gbps: float = 1.4
+
+    def __post_init__(self) -> None:
+        if min(self.channels, self.dies_per_channel,
+               self.planes_per_die) < 1:
+            raise ConfigurationError("NAND geometry must be positive")
+
+    @property
+    def program_bandwidth_gbps(self) -> float:
+        """Aggregate sustainable program rate (die-limited)."""
+        parallel = self.channels * self.dies_per_channel * self.planes_per_die
+        return parallel * self.page_bytes / self.program_ns
+
+    @property
+    def read_bandwidth_gbps(self) -> float:
+        """Aggregate sustainable read rate (channel-limited)."""
+        die_side = (self.channels * self.dies_per_channel
+                    * self.planes_per_die * self.page_bytes / self.read_ns)
+        channel_side = self.channels * self.channel_gbps
+        return min(die_side, channel_side)
+
+
+class NandArray:
+    """Byte-count accounting plus service-time calculation."""
+
+    def __init__(self, spec: NandSpec | None = None) -> None:
+        self.spec = spec or NandSpec()
+        self.bytes_programmed = 0
+        self.bytes_read = 0
+        self.pages_erased = 0
+
+    def program_ns(self, nbytes: int) -> float:
+        """Service time to program ``nbytes`` (streamed across dies)."""
+        self.bytes_programmed += nbytes
+        return nbytes / self.spec.program_bandwidth_gbps
+
+    def program_latency_ns(self, nbytes: int) -> float:
+        """Single-request latency.  Enterprise drives acknowledge
+        buffered writes from capacitor-backed SRAM (sub-10 us, §5.2.3),
+        so host-visible latency excludes the die program time."""
+        return 2_000.0 + nbytes / (self.spec.channels * self.spec.channel_gbps)
+
+    def read_service_ns(self, nbytes: int) -> float:
+        self.bytes_read += nbytes
+        return nbytes / self.spec.read_bandwidth_gbps
+
+    def read_latency_ns(self, nbytes: int) -> float:
+        """Single-read latency: tR plus channel transfer."""
+        return self.spec.read_ns / 8.0 + nbytes / self.spec.channel_gbps
+
+    def erase_latency_ns(self) -> float:
+        self.pages_erased += 1
+        return self.spec.erase_ns

@@ -1,0 +1,23 @@
+"""Multi-tenant SR-IOV simulation (VMs, VF arbitration, QoS)."""
+
+from repro.virt.qos import FairArbiter, FcfsArbiter, VfRequest
+from repro.virt.tenancy import (
+    DeviceServiceModel,
+    MultiTenantSim,
+    TenantProfile,
+    TenantResult,
+    csd_tenant_profile,
+    qat_tenant_profile,
+)
+
+__all__ = [
+    "DeviceServiceModel",
+    "FairArbiter",
+    "FcfsArbiter",
+    "MultiTenantSim",
+    "TenantProfile",
+    "TenantResult",
+    "VfRequest",
+    "csd_tenant_profile",
+    "qat_tenant_profile",
+]

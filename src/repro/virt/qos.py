@@ -1,0 +1,138 @@
+"""Device-side arbitration between virtual functions (paper §5.5.2).
+
+Two arbiters over the same engine pool:
+
+* :class:`FcfsArbiter` — one shared FIFO (QAT): whoever enqueues first
+  is served first, so a bursty tenant monopolizes the engines and the
+  hardware queue ceiling blocks everyone else's submissions;
+* :class:`FairArbiter` — per-VF queues served round-robin (DP-CSD's
+  front-end QoS): each VF gets an equal share of engine passes
+  regardless of how deeply its neighbours queue.
+
+Both are real queueing processes on the DES, not closed-form formulas:
+the CV gap in Figure 20 *emerges* from the scheduling discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.errors import SimulationError
+from repro.sim.engine import Event, Simulator
+
+
+@dataclass
+class VfRequest:
+    """One tenant request passing through the device."""
+
+    vf_index: int
+    nbytes: int
+    service_ns: float
+    done: Event = None  # type: ignore[assignment]
+
+
+class _ArbiterBase:
+    """Engine-slot dispatch shared by both policies."""
+
+    def __init__(self, sim: Simulator, engine_slots: int) -> None:
+        if engine_slots < 1:
+            raise SimulationError("need at least one engine slot")
+        self.sim = sim
+        self.engine_slots = engine_slots
+        self._idle_engines = engine_slots
+        self._wakeup: Event | None = None
+        for _ in range(engine_slots):
+            sim.spawn(self._engine_loop())
+
+    # -- subclass interface --
+
+    def _pop_next(self) -> VfRequest | None:
+        raise NotImplementedError
+
+    def _has_pending(self) -> bool:
+        raise NotImplementedError
+
+    def submit(self, request: VfRequest) -> Event:
+        raise NotImplementedError
+
+    # -- engine machinery --
+
+    def _notify(self) -> None:
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def _engine_loop(self) -> Generator[Event, Any, None]:
+        while True:
+            request = self._pop_next()
+            if request is None:
+                if self._wakeup is None or self._wakeup.fired:
+                    self._wakeup = self.sim.event()
+                yield self._wakeup
+                continue
+            yield self.sim.timeout(request.service_ns)
+            request.done.succeed()
+
+
+class FcfsArbiter(_ArbiterBase):
+    """Shared FIFO with a device-wide in-flight ceiling (QAT)."""
+
+    def __init__(self, sim: Simulator, engine_slots: int,
+                 queue_ceiling: int) -> None:
+        self._queue: list[VfRequest] = []
+        self._ceiling = queue_ceiling
+        self._blocked: list[tuple[VfRequest, Event]] = []
+        super().__init__(sim, engine_slots)
+
+    def submit(self, request: VfRequest) -> Event:
+        request.done = self.sim.event()
+        if len(self._queue) >= self._ceiling:
+            # Hardware queue full: the submission itself blocks until a
+            # slot frees (the "concurrency ceiling" of Finding 6).
+            gate = self.sim.event()
+            self._blocked.append((request, gate))
+            return request.done
+        self._queue.append(request)
+        self._notify()
+        return request.done
+
+    def _pop_next(self) -> VfRequest | None:
+        if not self._queue:
+            return None
+        request = self._queue.pop(0)
+        while self._blocked and len(self._queue) < self._ceiling:
+            pending, gate = self._blocked.pop(0)
+            self._queue.append(pending)
+            gate.succeed()
+        return request
+
+    def _has_pending(self) -> bool:
+        return bool(self._queue)
+
+
+class FairArbiter(_ArbiterBase):
+    """Per-VF queues served round-robin (DP-CSD front-end QoS)."""
+
+    def __init__(self, sim: Simulator, engine_slots: int,
+                 vf_count: int) -> None:
+        self._queues: list[list[VfRequest]] = [[] for _ in range(vf_count)]
+        self._cursor = 0
+        super().__init__(sim, engine_slots)
+
+    def submit(self, request: VfRequest) -> Event:
+        request.done = self.sim.event()
+        self._queues[request.vf_index].append(request)
+        self._notify()
+        return request.done
+
+    def _pop_next(self) -> VfRequest | None:
+        vf_count = len(self._queues)
+        for step in range(vf_count):
+            index = (self._cursor + step) % vf_count
+            if self._queues[index]:
+                self._cursor = (index + 1) % vf_count
+                return self._queues[index].pop(0)
+        return None
+
+    def _has_pending(self) -> bool:
+        return any(self._queues)

@@ -1,0 +1,38 @@
+"""Workload generators: synthetic corpus, entropy sweeps, YCSB, FIO."""
+
+from repro.workloads.corpus import CorpusMember, build_corpus, corpus_chunks
+from repro.workloads.datagen import (
+    chunk_iter,
+    entropy_bytes,
+    mixed_block,
+    random_bytes,
+    ratio_controlled_bytes,
+)
+from repro.workloads.fio import FioJob, IoPattern, IoRequest
+from repro.workloads.ycsb import Operation, OpType, YcsbWorkload, make_value
+from repro.workloads.zipf import (
+    ScrambledZipfian,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+
+__all__ = [
+    "CorpusMember",
+    "FioJob",
+    "IoPattern",
+    "IoRequest",
+    "Operation",
+    "OpType",
+    "ScrambledZipfian",
+    "UniformGenerator",
+    "YcsbWorkload",
+    "ZipfianGenerator",
+    "build_corpus",
+    "chunk_iter",
+    "corpus_chunks",
+    "entropy_bytes",
+    "make_value",
+    "mixed_block",
+    "random_bytes",
+    "ratio_controlled_bytes",
+]

@@ -1,0 +1,138 @@
+"""Synthetic data generation with controlled compressibility.
+
+The paper sweeps two orthogonal data properties:
+
+* **Shannon entropy** (Figure 2 uses 1, 4, 7 bits/byte) — order-0
+  randomness, controlled here by sampling from skewed byte
+  distributions;
+* **compression ratio** (Figure 12 sweeps 0-100%) — dictionary
+  redundancy, controlled here by interleaving incompressible spans with
+  copies of earlier output.
+
+All generators take an explicit seed for reproducibility.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import WorkloadError
+
+
+def random_bytes(n: int, seed: int = 0) -> bytes:
+    """Incompressible data (entropy ~8 bits/byte)."""
+    rng = random.Random(seed)
+    return rng.randbytes(n)
+
+
+def _entropy_of_distribution(weights: list[float]) -> float:
+    total = sum(weights)
+    entropy = 0.0
+    for w in weights:
+        if w > 0:
+            p = w / total
+            entropy -= p * math.log2(p)
+    return entropy
+
+
+def _geometric_weights(alphabet: int, decay: float) -> list[float]:
+    return [decay ** i for i in range(alphabet)]
+
+
+def entropy_bytes(n: int, bits_per_byte: float, seed: int = 0) -> bytes:
+    """Data whose order-0 entropy approximates ``bits_per_byte``.
+
+    Uses a geometric distribution over the byte alphabet whose decay is
+    binary-searched to the target entropy.  A value of 8.0 degenerates
+    to uniform random; 0.0 to a constant byte.
+    """
+    if not 0.0 <= bits_per_byte <= 8.0:
+        raise WorkloadError(f"entropy {bits_per_byte} outside [0, 8]")
+    rng = random.Random(seed)
+    if bits_per_byte >= 7.99:
+        return rng.randbytes(n)
+    if bits_per_byte <= 0.01:
+        return bytes([rng.randrange(256)]) * n
+    lo, hi = 0.01, 0.999999
+    for _ in range(60):
+        mid = (lo + hi) / 2
+        if _entropy_of_distribution(_geometric_weights(256, mid)) < bits_per_byte:
+            lo = mid
+        else:
+            hi = mid
+    weights = _geometric_weights(256, (lo + hi) / 2)
+    # Shuffle symbol identities so the data is not trivially sorted.
+    symbols = list(range(256))
+    rng.shuffle(symbols)
+    return bytes(
+        rng.choices(symbols, weights=weights, k=n)
+    )
+
+
+def ratio_controlled_bytes(n: int, target_ratio: float,
+                           seed: int = 0,
+                           span: int = 48) -> bytes:
+    """Data that compresses to roughly ``target_ratio`` (0 = best).
+
+    Interleaves fresh random spans with copies of earlier output: the
+    random fraction approximates the achievable compression ratio (the
+    copies cost only tokens).  LZ-class compressors land within a few
+    points of the target across the sweep, which is what Figure 12
+    needs — a monotone compressibility axis, not an exact dial.
+    """
+    if not 0.0 <= target_ratio <= 1.0:
+        raise WorkloadError(f"ratio {target_ratio} outside [0, 1]")
+    rng = random.Random(seed)
+    if target_ratio >= 0.999:
+        return rng.randbytes(n)
+    out = bytearray(rng.randbytes(min(span, n)))
+    while len(out) < n:
+        if rng.random() < target_ratio:
+            out += rng.randbytes(span)
+        else:
+            # Copy a recent span (stays inside a 4 KB page window so
+            # page-granular compressors see the redundancy too).
+            window = min(len(out), 3072)
+            start = len(out) - window + rng.randrange(max(window - span, 1))
+            start = max(start, 0)
+            out += bytes(out[start:start + span])
+    return bytes(out[:n])
+
+
+def mixed_block(n: int, entropy_bits: float, redundancy: float,
+                seed: int = 0) -> bytes:
+    """Two-axis control: symbol skew plus dictionary redundancy.
+
+    ``redundancy`` in [0, 1] is the fraction of the block served by
+    copies; the residual stream carries ``entropy_bits`` of order-0
+    entropy.  Used by the Figure 2 sweep where Zstd's stage balance
+    shifts with both axes.
+    """
+    if not 0.0 <= redundancy <= 1.0:
+        raise WorkloadError(f"redundancy {redundancy} outside [0, 1]")
+    rng = random.Random(seed)
+    base = entropy_bytes(n, entropy_bits, seed=rng.randrange(1 << 30))
+    if redundancy <= 0.0:
+        return base
+    out = bytearray()
+    pos = 0
+    span = 64
+    while len(out) < n:
+        if out and rng.random() < redundancy:
+            window = min(len(out), 3072)
+            start = len(out) - window + rng.randrange(max(window - span, 1))
+            start = max(start, 0)
+            out += bytes(out[start:start + span])
+        else:
+            out += base[pos:pos + span]
+            pos = (pos + span) % max(len(base) - span, 1)
+    return bytes(out[:n])
+
+
+def chunk_iter(data: bytes, chunk_size: int):
+    """Yield fixed-size chunks (last one may be short)."""
+    if chunk_size <= 0:
+        raise WorkloadError(f"chunk_size must be > 0, got {chunk_size}")
+    for offset in range(0, len(data), chunk_size):
+        yield data[offset:offset + chunk_size]

@@ -1,0 +1,80 @@
+"""FIO-style IO pattern generator (paper's device microbenchmarks).
+
+DPZip "lacks a standalone interface and must be measured using the FIO
+benchmark" (§5.3); this module produces the sequential/random
+read/write request streams the device-level experiments replay against
+the SSD models, with per-request payloads of controlled compressibility.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.workloads.datagen import ratio_controlled_bytes
+
+
+class IoPattern(enum.Enum):
+    SEQ_READ = "read"
+    SEQ_WRITE = "write"
+    RAND_READ = "randread"
+    RAND_WRITE = "randwrite"
+
+    @property
+    def is_write(self) -> bool:
+        return self in (IoPattern.SEQ_WRITE, IoPattern.RAND_WRITE)
+
+
+@dataclass(frozen=True)
+class IoRequest:
+    """One block-level request."""
+
+    offset: int
+    size: int
+    is_write: bool
+    payload: bytes | None = None
+
+
+class FioJob:
+    """Request-stream generator for one FIO-like job."""
+
+    def __init__(self, pattern: IoPattern, block_size: int,
+                 span_bytes: int, seed: int = 0,
+                 target_ratio: float = 0.45) -> None:
+        if block_size <= 0 or span_bytes < block_size:
+            raise WorkloadError("invalid block_size/span combination")
+        self.pattern = pattern
+        self.block_size = block_size
+        self.span_bytes = span_bytes
+        self.target_ratio = target_ratio
+        self._rng = random.Random(seed)
+        self._cursor = 0
+        self._blocks = span_bytes // block_size
+        # One payload template per job, rotated per request; generating
+        # fresh bytes per request would dominate runtime without
+        # changing any modelled metric.
+        self._payloads = [
+            ratio_controlled_bytes(block_size, target_ratio, seed=seed + i)
+            for i in range(4)
+        ] if pattern.is_write else []
+
+    def requests(self, count: int):
+        """Yield ``count`` requests following the job pattern."""
+        sequential = self.pattern in (IoPattern.SEQ_READ, IoPattern.SEQ_WRITE)
+        for index in range(count):
+            if sequential:
+                block = self._cursor
+                self._cursor = (self._cursor + 1) % self._blocks
+            else:
+                block = self._rng.randrange(self._blocks)
+            payload = None
+            if self.pattern.is_write:
+                payload = self._payloads[index % len(self._payloads)]
+            yield IoRequest(
+                offset=block * self.block_size,
+                size=self.block_size,
+                is_write=self.pattern.is_write,
+                payload=payload,
+            )

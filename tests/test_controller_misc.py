@@ -1,0 +1,95 @@
+"""Controller SoC, profiling and CLI coverage."""
+
+import pytest
+
+from repro.experiments.cli import main as cli_main
+from repro.hw.dpzip import DpzipEngine
+from repro.profiling import PowerMeter, format_table
+from repro.ssd.controller import SsdController
+from repro.ssd.nand import NandArray
+from repro.workloads.datagen import ratio_controlled_bytes
+
+
+class TestController:
+    def _controller(self, nand=True):
+        return SsdController(
+            physical_pages=256,
+            engine=DpzipEngine(),
+            nand=NandArray() if nand else None,
+        )
+
+    def test_write_read_roundtrip(self):
+        controller = self._controller()
+        data = ratio_controlled_bytes(4096, 0.4, seed=1)
+        outcome = controller.write_page(0, data)
+        assert outcome.compressed_size < 4096
+        back, read_outcome = controller.read_page(0)
+        assert back == data
+        assert read_outcome.latency.total_ns > 0
+
+    def test_uncompressed_controller(self):
+        controller = SsdController(physical_pages=64, engine=None,
+                                   nand=NandArray())
+        data = ratio_controlled_bytes(4096, 0.4, seed=2)
+        outcome = controller.write_page(0, data)
+        assert outcome.compressed_size == 4096
+        assert controller.read_page(0)[0] == data
+
+    def test_buffered_write_latency_bounded(self):
+        """§5.2.3: host-visible SSD write latency stays sub-10 us."""
+        controller = self._controller()
+        data = ratio_controlled_bytes(4096, 0.4, seed=3)
+        outcome = controller.write_page(1, data)
+        assert outcome.latency.total_us < 10.0
+
+    def test_dram_mode_faster_reads(self):
+        data = ratio_controlled_bytes(4096, 0.4, seed=4)
+        nand = self._controller(nand=True)
+        dram = self._controller(nand=False)
+        nand.write_page(0, data)
+        dram.write_page(0, data)
+        _, nand_read = nand.read_page(0)
+        _, dram_read = dram.read_page(0)
+        assert dram_read.latency.total_ns < nand_read.latency.total_ns
+
+    def test_ftl_stats_flow_through(self):
+        controller = self._controller()
+        for lpn in range(8):
+            controller.write_page(lpn, ratio_controlled_bytes(
+                4096, 0.3, seed=lpn))
+        assert controller.ftl.stats.host_writes_bytes == 8 * 4096
+        assert controller.ftl.stats.compressed_bytes < 8 * 4096
+
+
+class TestProfiling:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_power_meter_samples(self):
+        meter = PowerMeter()
+        sample = meter.sample_throughput("dpcsd", 5.6, host_threads=19)
+        assert sample.mb_per_joule > 100
+        ops = meter.sample_ops("qat8970", 400_000.0)
+        assert ops.ops_per_joule > 0
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out and "table2" in out
+
+    def test_run_single(self, capsys):
+        assert cli_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "DPZip" in out
+
+    def test_unknown_experiment_errors(self):
+        assert cli_main(["fig99"]) == 2

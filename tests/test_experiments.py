@@ -1,0 +1,297 @@
+"""Integration tests: every experiment runs and reproduces the paper's
+qualitative findings (orderings, crossovers, degradation shapes)."""
+
+import pytest
+
+from repro.experiments import REGISTRY, run_experiment
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Run each experiment once (quick mode) and cache the outputs."""
+    cache = {}
+
+    def get(name):
+        if name not in cache:
+            cache[name] = run_experiment(name, quick=True)
+        return cache[name]
+
+    return get
+
+
+def test_registry_is_complete():
+    expected = {"fig2", "fig7", "fig8", "fig9", "fig11", "fig12", "fig14",
+                "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+                "table1", "table2", "scalability"}
+    assert expected <= set(REGISTRY)
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        run_experiment("fig99")
+
+
+class TestFig2:
+    def test_lz77_dominates_and_grows_with_level(self, results):
+        r = results("fig2")
+        for chunk in {row["chunk_kb"] for row in r.rows}:
+            l1 = [row["lz77_pct"] for row in r.rows_where(
+                chunk_kb=chunk, level=1)]
+            l10 = [row["lz77_pct"] for row in r.rows_where(
+                chunk_kb=chunk, level=10)]
+            assert sum(l10) / len(l10) > sum(l1) / len(l1)
+
+    def test_entropy_stage_share_shrinks_at_high_levels(self, results):
+        r = results("fig2")
+        e1 = [row["huffman_pct"] + row["fse_pct"]
+              for row in r.rows_where(level=1)]
+        e10 = [row["huffman_pct"] + row["fse_pct"]
+               for row in r.rows_where(level=10)]
+        assert sum(e10) / len(e10) < sum(e1) / len(e1)
+
+
+class TestFig7:
+    def test_lightweight_gap(self, results):
+        """Snappy/LZ4 median ~20 points above the Deflate class."""
+        r = results("fig7")
+        deflate = r.value("p50", granularity="4KB", algorithm="deflate")
+        snappy = r.value("p50", granularity="4KB", algorithm="snappy")
+        assert snappy - deflate > 0.12
+
+    def test_dpzip_tracks_deflate(self, results):
+        """Finding 1: DPZip slightly worse than Deflate, far from Snappy."""
+        r = results("fig7")
+        deflate = r.value("p50", granularity="4KB", algorithm="deflate")
+        dpzip = r.value("p50", granularity="4KB", algorithm="dpzip")
+        snappy = r.value("p50", granularity="4KB", algorithm="snappy")
+        assert deflate - 0.02 <= dpzip <= deflate + 0.10
+        assert dpzip < snappy
+
+
+class TestFig8And9:
+    def test_snappy_cpu_fastest_raw_throughput(self, results):
+        r = results("fig8")
+        snappy = r.value("comp_gbps", device="cpu-snappy")
+        assert all(snappy >= row["comp_gbps"]
+                   for row in r.rows if row["device"] != "cpu-snappy")
+
+    def test_dpzip_leads_asics(self, results):
+        r = results("fig8")
+        dpzip = r.value("comp_gbps", device="dpzip")
+        assert dpzip > r.value("comp_gbps", device="qat4xxx")
+        assert dpzip >= r.value("comp_gbps", device="qat8970") * 0.95
+
+    def test_latency_ordering_by_placement(self, results):
+        """Findings 3/4: in-storage < on-chip < peripheral < CPU."""
+        r = results("fig8")
+        lat = {row["device"]: row["comp_latency_us"] for row in r.rows}
+        assert (lat["dpzip"] < lat["qat4xxx"] < lat["qat8970"]
+                < lat["cpu-deflate"])
+
+    def test_onchip_no_bandwidth_gain_but_lower_latency(self, results):
+        """The paper's headline nuance about on-chip CDPUs."""
+        r = results("fig8")
+        assert (r.value("comp_gbps", device="qat4xxx")
+                <= r.value("comp_gbps", device="qat8970"))
+        assert (r.value("comp_latency_us", device="qat4xxx")
+                < r.value("comp_latency_us", device="qat8970") / 2)
+
+    def test_64k_boosts_hardware_more_than_software(self, results):
+        gain = {}
+        for device in ("cpu-deflate", "qat8970", "qat4xxx", "dpzip"):
+            gain[device] = (results("fig9").value("comp_gbps", device=device)
+                            / results("fig8").value("comp_gbps",
+                                                    device=device))
+        assert 1.1 <= gain["cpu-deflate"] <= 1.5
+        assert gain["qat8970"] > gain["cpu-deflate"]
+        assert gain["qat4xxx"] > gain["cpu-deflate"]
+        assert gain["dpzip"] > gain["cpu-deflate"]
+
+
+class TestFig11:
+    def test_read_latency_gap(self, results):
+        r = results("fig11")
+        rows = r.rows_where(part="a-read")
+        big = [row for row in rows if row["chunk"] == 65536][0]
+        assert 50 <= big["ratio"] <= 90
+
+    def test_e2e_ratio_3_to_5x(self, results):
+        r = results("fig11")
+        for row in r.rows_where(part="b-e2e"):
+            assert 2.5 <= row["ratio"] <= 6.0
+
+
+class TestFig12:
+    def test_qat4xxx_collapses_on_incompressible(self, results):
+        r = results("fig12")
+        best = max(row["qat4xxx_comp"] for row in r.rows)
+        worst = min(row["qat4xxx_comp"] for row in r.rows)
+        assert 1 - worst / best >= 0.55
+
+    def test_qat8970_shallower_than_4xxx(self, results):
+        r = results("fig12")
+        drop4 = 1 - (min(row["qat4xxx_comp"] for row in r.rows)
+                     / max(row["qat4xxx_comp"] for row in r.rows))
+        drop8 = 1 - (min(row["qat8970_comp"] for row in r.rows)
+                     / max(row["qat8970_comp"] for row in r.rows))
+        assert drop8 < drop4
+
+    def test_dpzip_robust_and_recovers(self, results):
+        """Finding 5 + the 80-100% rebound."""
+        r = results("fig12")
+        series = [(row["target"], row["dpzip_comp"]) for row in r.rows]
+        values = [v for _, v in series]
+        assert 1 - min(values) / max(values) <= 0.35
+        assert series[-1][1] > min(values)  # rebound at 100%
+
+    def test_dpcsd_no_rebound(self, results):
+        r = results("fig12")
+        series = [row["dpcsd_comp"] for row in r.rows]
+        assert series[-1] == min(series)
+
+
+class TestFig14:
+    def test_shapes(self, results):
+        r = results("fig14")
+        # Deflate penalty at 10 processes (paper: -26%).
+        off10 = r.value("kops", workload="A", config="off", processes=10)
+        deflate10 = r.value("kops", workload="A", config="cpu-deflate",
+                            processes=10)
+        assert 0.60 <= deflate10 / off10 <= 0.85
+        # QAT above OFF at low concurrency (paper: 476 vs 362).
+        qat10 = r.value("kops", workload="A", config="qat4xxx", processes=10)
+        assert qat10 > off10
+        # QAT plateaus past 64 processes (Finding 6).
+        qat75 = r.value("kops", workload="A", config="qat4xxx", processes=75)
+        qat88 = r.value("kops", workload="A", config="qat4xxx", processes=88)
+        assert qat88 <= qat75 * 1.02
+        # DP-CSD keeps scaling (Finding 6/14).
+        dpcsd88 = r.value("kops", workload="A", config="dpcsd", processes=88)
+        assert dpcsd88 > qat88 * 1.2
+        # CSD 2000 collapses under concurrency (Finding 7).
+        csd50 = r.value("kops", workload="A", config="csd2000", processes=50)
+        csd88 = r.value("kops", workload="A", config="csd2000", processes=88)
+        assert csd88 < csd50
+
+
+class TestFig15:
+    def test_dpcsd_matches_off(self, results):
+        """Finding 8: transparent compression keeps OFF's tree/latency."""
+        r = results("fig15")
+        for letter in ("A", "F"):
+            off = r.value("read_latency_us", workload=letter, config="off")
+            dpcsd = r.value("read_latency_us", workload=letter,
+                            config="dpcsd")
+            assert dpcsd == pytest.approx(off, rel=0.15)
+
+    def test_cpu_deflate_pays_decompression(self, results):
+        r = results("fig15")
+        off = r.value("read_latency_us", workload="A", config="off")
+        deflate = r.value("read_latency_us", workload="A",
+                          config="cpu-deflate")
+        assert deflate > off
+
+
+class TestFilesystems:
+    def test_fig16_write_ordering(self, results):
+        r = results("fig16")
+        gbps = {row["config"]: row["write_gbps"] for row in r.rows}
+        assert gbps["dpcsd"] > gbps["off"] > gbps["qat4xxx"]
+        assert gbps["cpu-deflate"] < gbps["qat4xxx"]
+
+    def test_fig16_read_amplification_latency(self, results):
+        r = results("fig16")
+        lat = {row["config"]: row["read_latency_us"] for row in r.rows}
+        assert lat["cpu-deflate"] > 300  # paper peak 572 us
+        assert lat["dpcsd"] <= lat["off"] + 10
+        assert lat["qat4xxx"] > lat["dpcsd"]
+
+    def test_fig17_shapes(self, results):
+        r = results("fig17")
+        small = {row["config"]: row["read_us"]
+                 for row in r.rows_where(recordsize=4096)}
+        big = {row["config"]: row["read_us"]
+               for row in r.rows_where(recordsize=131072)}
+        # CPU latency grows steeply; DP-CSD stays near OFF (Finding 10).
+        assert big["cpu-deflate"] / small["cpu-deflate"] > 4
+        assert big["dpcsd"] / big["off"] < 1.15
+        # QAT 8970 beats CPU only at large records.
+        assert big["qat8970"] < big["cpu-deflate"]
+
+
+class TestPower:
+    def test_fig18_micro_calibration(self, results):
+        r = results("fig18")
+        dpzip = r.value("mb_per_joule", part="a-micro", config="dpcsd",
+                        op="compress")
+        cpu = r.value("mb_per_joule", part="a-micro", config="cpu",
+                      op="compress")
+        assert dpzip == pytest.approx(169.87, rel=0.15)
+        assert cpu == pytest.approx(41.81, rel=0.15)
+        # Finding 13: DPZip beats QAT by ~40-45%.
+        qat = r.value("mb_per_joule", part="a-micro", config="qat8970",
+                      op="compress")
+        assert 1.25 <= dpzip / qat <= 1.70
+
+    def test_fig18_multi_device_scaling(self, results):
+        r = results("fig18")
+        multi = r.value("mb_per_joule", part="a-micro", config="dpcsd-x3",
+                        op="compress")
+        assert multi == pytest.approx(288.72, rel=0.15)
+
+    def test_fig18_btrfs_cpu_utilization(self, results):
+        r = results("fig18")
+        rows = {row["config"]: row for row in r.rows_where(part="b-btrfs")}
+        assert rows["dpcsd"]["cpu_utilization"] < 0.03
+        assert rows["qat4xxx"]["cpu_utilization"] > 0.14
+
+    def test_fig19_dpzip_beats_qat(self, results):
+        r = results("fig19")
+        for processes in (50, 75):
+            dpcsd = r.value("ops_per_joule", workload="A", config="dpcsd",
+                            processes=processes)
+            qat = r.value("ops_per_joule", workload="A", config="qat4xxx",
+                          processes=processes)
+            assert dpcsd > qat
+
+
+class TestFig20:
+    def test_cv_contrast(self, results):
+        r = results("fig20")
+        cv = {row["device"]: row["avg_cv_percent"] for row in r.rows}
+        assert cv["qat8970"] > 25.0
+        assert cv["qat4xxx"] > 25.0
+        assert cv["ssd"] < 2.0
+        assert cv["dpcsd"] < 2.0
+
+    def test_csd_plateau_near_340(self, results):
+        r = results("fig20")
+        mbps = r.value("mean_vm_mbps", device="dpcsd")
+        assert mbps == pytest.approx(340, rel=0.1)
+
+
+class TestTablesAndScaling:
+    def test_table1_catalog(self, results):
+        r = results("table1")
+        names = {row["name"] for row in r.rows}
+        assert {"SPR2S", "QAT 8970", "QAT 4xxx", "CSD 2000", "DPZip"} <= names
+
+    def test_table2_matrix(self, results):
+        r = results("table2")
+        plug = [row for row in r.rows
+                if row["criterion"] == "plug_and_play"][0]
+        assert plug["in-storage"] == "yes"
+        assert plug["on-chip"] == "no"
+        configurability = [row for row in r.rows
+                           if row["criterion"] == "algorithm_configurability"][0]
+        assert configurability["in-storage"] == "no"
+
+    def test_scalability_shapes(self, results):
+        """Finding 14: QAT socket-capped, DP-CSD near-linear to 8+."""
+        r = results("scalability")
+        one = r.value("dpcsd_gbps", devices=1)
+        eight = r.value("dpcsd_gbps", devices=8)
+        assert one == pytest.approx(12.5, rel=0.05)
+        assert eight == pytest.approx(98.6, rel=0.1)
+        assert r.value("qat4xxx_gbps", devices=2) == pytest.approx(9.54)
+        assert r.value("qat4xxx_gbps", devices=4) is None

@@ -1,0 +1,136 @@
+"""Tests for the §6 future-work extensions: preset dictionaries and
+multi-level DPZip."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dictionary import (
+    MAX_DICTIONARY_BYTES,
+    PresetDictionaryCodec,
+    train_dictionary,
+)
+from repro.core.dpzip_codec import DPZIP_LEVELS, DpzipCodec
+from repro.errors import CompressionError, DecompressionError
+
+
+def _templated_page(key: int, size: int = 1024) -> bytes:
+    """Pages sharing a heavy template but unique per-page content.
+
+    Cross-page redundancy a 4 KB window cannot see — the case the
+    paper's preset-dictionary proposal targets.
+    """
+    rng = random.Random(key)
+    template = (b"<metric host=\"storage-node\" unit=\"bytes\" "
+                b"aggregation=\"p99\" retention=\"30d\">")
+    body = bytearray()
+    while len(body) < size:
+        body += template
+        body += f"{rng.randrange(10**9):012d}".encode()
+        body += rng.randbytes(6).hex().encode()
+    return bytes(body[:size])
+
+
+@pytest.fixture(scope="module")
+def trained():
+    samples = [_templated_page(k) for k in range(24)]
+    dictionary = train_dictionary(samples, dict_bytes=2048)
+    return PresetDictionaryCodec(dictionary, page_bytes=1024)
+
+
+class TestDictionaryTraining:
+    def test_respects_budget(self):
+        samples = [_templated_page(k, 4096) for k in range(8)]
+        dictionary = train_dictionary(samples, dict_bytes=1024)
+        assert 0 < len(dictionary) <= 1024
+
+    def test_contains_frequent_material(self):
+        samples = [_templated_page(k, 4096) for k in range(8)]
+        dictionary = train_dictionary(samples, dict_bytes=2048)
+        assert b"storage-node" in dictionary
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(CompressionError):
+            train_dictionary([])
+
+    def test_oversized_budget_rejected(self):
+        with pytest.raises(CompressionError):
+            train_dictionary([b"abc"], dict_bytes=MAX_DICTIONARY_BYTES + 1)
+
+
+class TestPresetDictionaryCodec:
+    def test_roundtrip(self, trained):
+        for key in (100, 101, 102):
+            page = _templated_page(key)
+            assert trained.decompress(trained.compress(page)) == page
+
+    def test_improves_small_page_ratio(self, trained):
+        """The headline claim: preset dictionaries recover cross-page
+        redundancy that 4 KB-window compression cannot see."""
+        plain = DpzipCodec(page_bytes=1024)
+        pages = [_templated_page(k) for k in range(200, 212)]
+        dict_bytes = sum(len(trained.compress(p)) for p in pages)
+        plain_bytes = sum(plain.compress(p).compressed_size for p in pages)
+        assert dict_bytes < plain_bytes * 0.95
+        assert trained.last_stats.dictionary_matches > 0
+
+    def test_random_data_safe(self, trained):
+        data = random.Random(5).randbytes(3000)
+        assert trained.decompress(trained.compress(data)) == data
+
+    def test_empty_input(self, trained):
+        assert trained.decompress(trained.compress(b"")) == b""
+
+    def test_dictionary_mismatch_rejected(self, trained):
+        other = PresetDictionaryCodec(b"completely different dictionary")
+        blob = trained.compress(_templated_page(7))
+        with pytest.raises(DecompressionError):
+            other.decompress(blob)
+
+    def test_truncated_payload_rejected(self, trained):
+        blob = trained.compress(_templated_page(9))
+        with pytest.raises(DecompressionError):
+            trained.decompress(blob[:3])
+
+    def test_empty_dictionary_rejected(self):
+        with pytest.raises(CompressionError):
+            PresetDictionaryCodec(b"")
+
+
+class TestDpzipLevels:
+    def test_known_levels(self):
+        assert set(DPZIP_LEVELS) == {1, 2, 3}
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            DpzipCodec(level=9)
+
+    def test_all_levels_roundtrip(self):
+        data = _templated_page(3, 8192)
+        for level in DPZIP_LEVELS:
+            codec = DpzipCodec(level=level)
+            result = codec.compress(data)
+            assert codec.decompress(result.payload) == data
+
+    def test_higher_level_never_much_worse(self):
+        """Deeper search may only help ratio (modulo noise)."""
+        data = _templated_page(4, 16384)
+        l1 = DpzipCodec(level=1).compress(data).compressed_size
+        l3 = DpzipCodec(level=3).compress(data).compressed_size
+        assert l3 <= l1 * 1.02
+
+    def test_higher_level_uses_more_sram(self):
+        shallow = DpzipCodec(level=1)
+        deep = DpzipCodec(level=3)
+        assert (deep._encoder.table.sram_bytes
+                > shallow._encoder.table.sram_bytes)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(max_size=2500))
+def test_dictionary_roundtrip_property(data):
+    samples = [_templated_page(k) for k in range(6)]
+    dictionary = train_dictionary(samples, dict_bytes=1024)
+    codec = PresetDictionaryCodec(dictionary, page_bytes=1024)
+    assert codec.decompress(codec.compress(data)) == data

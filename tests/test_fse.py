@@ -1,0 +1,160 @@
+"""Tests for the FSE (tANS) entropy coder."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import fse
+from repro.core.bitio import BitReader, BitWriter
+from repro.errors import CompressionError, DecompressionError
+
+
+class TestNormalization:
+    def test_sums_to_table_size(self):
+        norm = fse.normalize_counts([10, 20, 30, 40], 9)
+        assert sum(norm) == 1 << 9
+
+    def test_present_symbols_keep_slots(self):
+        norm = fse.normalize_counts([1, 100000, 1, 0], 8)
+        assert norm[0] >= 1 and norm[2] >= 1
+        assert norm[3] == 0
+
+    def test_proportionality(self):
+        norm = fse.normalize_counts([100, 300], 8)
+        assert norm[1] > norm[0] * 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompressionError):
+            fse.normalize_counts([0, 0], 8)
+
+    def test_too_many_symbols_rejected(self):
+        with pytest.raises(CompressionError):
+            fse.normalize_counts([1] * 10, 3)
+
+    def test_single_symbol_degenerate(self):
+        norm = fse.normalize_counts([0, 7, 0], 6)
+        assert norm[1] == 1 << 6
+
+
+class TestFseTable:
+    def _roundtrip(self, symbols, alphabet, table_log=9):
+        freqs = [0] * alphabet
+        for s in symbols:
+            freqs[s] += 1
+        table = fse.build_table(freqs, table_log)
+        writer = BitWriter()
+        table.encode(symbols, writer)
+        reader = BitReader(writer.getvalue())
+        return table.decode(reader, len(symbols))
+
+    def test_simple_roundtrip(self):
+        symbols = [0, 1, 2, 1, 0, 1, 2, 2, 1, 0] * 20
+        assert self._roundtrip(symbols, 3) == symbols
+
+    def test_skewed_roundtrip(self):
+        rng = random.Random(3)
+        symbols = rng.choices(range(8), weights=[100, 50, 20, 10, 5, 3, 2, 1],
+                              k=500)
+        assert self._roundtrip(symbols, 8) == symbols
+
+    def test_two_symbol_roundtrip(self):
+        symbols = [0, 1] * 100
+        assert self._roundtrip(symbols, 2, table_log=5) == symbols
+
+    def test_single_element_stream(self):
+        symbols = [3, 3]
+        assert self._roundtrip(symbols, 5, table_log=5) == symbols
+
+    def test_skewed_stream_compresses_below_raw(self):
+        rng = random.Random(9)
+        symbols = rng.choices(range(16), weights=[64] + [1] * 15, k=2000)
+        freqs = [0] * 16
+        for s in symbols:
+            freqs[s] += 1
+        table = fse.build_table(freqs, 9)
+        writer = BitWriter()
+        table.encode(symbols, writer)
+        # raw cost would be 4 bits/symbol
+        assert writer.bit_length < len(symbols) * 4 * 0.6
+
+    def test_zero_probability_symbol_rejected(self):
+        table = fse.build_table([10, 10, 0, 10], 6)
+        with pytest.raises(CompressionError):
+            table.encode([2], BitWriter())
+
+    def test_header_roundtrip(self):
+        table = fse.build_table([5, 10, 15], 7)
+        writer = BitWriter()
+        table.serialize(writer)
+        parsed = fse.FseTable.parse(BitReader(writer.getvalue()))
+        assert parsed.norm == table.norm
+        assert parsed.table_log == table.table_log
+
+    def test_bad_table_log_rejected(self):
+        with pytest.raises(CompressionError):
+            fse.FseTable([1, 1], 13)
+
+    def test_inconsistent_norm_rejected(self):
+        with pytest.raises(CompressionError):
+            fse.FseTable([3, 3], 3)  # sums to 6, not 8
+
+
+class TestSymbolStream:
+    def _roundtrip(self, symbols, alphabet):
+        writer = BitWriter()
+        fse.encode_symbol_stream(symbols, alphabet, writer)
+        reader = BitReader(writer.getvalue())
+        return fse.decode_symbol_stream(reader, len(symbols), alphabet)
+
+    def test_rle_mode_for_constant_stream(self):
+        symbols = [7] * 50
+        assert self._roundtrip(symbols, 16) == symbols
+
+    def test_fse_mode_for_skewed(self):
+        rng = random.Random(1)
+        symbols = rng.choices(range(4), weights=[8, 4, 2, 1], k=300)
+        assert self._roundtrip(symbols, 4) == symbols
+
+    def test_raw_fallback_for_short_uniform(self):
+        symbols = [0, 1, 2, 3]
+        assert self._roundtrip(symbols, 4) == symbols
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompressionError):
+            fse.encode_symbol_stream([], 4, BitWriter())
+
+    def test_out_of_alphabet_rejected(self):
+        with pytest.raises(CompressionError):
+            fse.encode_symbol_stream([5], 4, BitWriter())
+
+    def test_stats_accumulate(self):
+        stats = fse.FseStats()
+        writer = BitWriter()
+        symbols = [0, 1, 0, 0, 1, 1, 0, 0] * 64
+        fse.encode_symbol_stream(symbols, 2, writer,
+                                 stats=stats)
+        assert stats.symbols_encoded in (0, len(symbols))  # raw may win
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(0, 15), min_size=1, max_size=600))
+def test_symbol_stream_roundtrip_property(symbols):
+    writer = BitWriter()
+    fse.encode_symbol_stream(symbols, 16, writer)
+    reader = BitReader(writer.getvalue())
+    assert fse.decode_symbol_stream(reader, len(symbols), 16) == symbols
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(5, 10),
+       st.lists(st.integers(1, 1000), min_size=2, max_size=32))
+def test_table_construction_property(table_log, freqs):
+    """Any normalized histogram yields mutually-inverse tables."""
+    table = fse.build_table(freqs, table_log)
+    rng = random.Random(42)
+    symbols = rng.choices(range(len(freqs)), weights=freqs, k=200)
+    writer = BitWriter()
+    table.encode(symbols, writer)
+    reader = BitReader(writer.getvalue())
+    assert table.decode(reader, len(symbols)) == symbols

@@ -1,0 +1,155 @@
+"""FTL tests: data integrity, GC invariants, amplification accounting."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dpzip_codec import DpzipCodec
+from repro.errors import CapacityError, ConfigurationError
+from repro.ssd.ftl import PAGE_BYTES, CompressingFtl
+from repro.workloads.datagen import ratio_controlled_bytes
+
+
+def _codec_ftl(pages=64):
+    codec = DpzipCodec()
+    return CompressingFtl(pages, codec.compress_bytes, codec.decompress)
+
+
+def _identity_ftl(pages=32):
+    return CompressingFtl(pages, lambda d: d, lambda d: d)
+
+
+class TestBasicIo:
+    def test_write_read_roundtrip(self):
+        ftl = _codec_ftl()
+        data = ratio_controlled_bytes(PAGE_BYTES, 0.4, seed=1)
+        ftl.write(7, data)
+        out, report = ftl.read(7)
+        assert out == data
+        assert report.pages_read in (1, 2)
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _codec_ftl().write(0, b"short")
+
+    def test_unmapped_read_raises(self):
+        with pytest.raises(KeyError):
+            _codec_ftl().read(3)
+
+    def test_overwrite_returns_latest(self):
+        ftl = _codec_ftl()
+        first = ratio_controlled_bytes(PAGE_BYTES, 0.3, seed=2)
+        second = ratio_controlled_bytes(PAGE_BYTES, 0.5, seed=3)
+        ftl.write(1, first)
+        ftl.write(1, second)
+        assert ftl.read(1)[0] == second
+
+    def test_trim_unmaps(self):
+        ftl = _codec_ftl()
+        ftl.write(2, bytes(PAGE_BYTES))
+        ftl.trim(2)
+        with pytest.raises(KeyError):
+            ftl.read(2)
+
+    def test_incompressible_stored_raw(self):
+        ftl = _codec_ftl()
+        data = random.Random(5).randbytes(PAGE_BYTES)
+        report = ftl.write(0, data)
+        assert report.compressed_size >= PAGE_BYTES
+        assert ftl.stats.raw_stored == 1
+        assert ftl.read(0)[0] == data
+
+    def test_compressible_page_packs_multiple_lpns(self):
+        ftl = _codec_ftl()
+        for lpn in range(4):
+            ftl.write(lpn, bytes(PAGE_BYTES))  # zeros compress tiny
+        # All four should share physical page 0.
+        ppns = {ftl.l2p[lpn][0].ppn for lpn in range(4)}
+        assert len(ppns) == 1
+
+    def test_cross_page_split_read_amplifies(self):
+        ftl = _identity_ftl()
+        ftl.write(0, bytes([1]) * PAGE_BYTES)
+        # Identity codec: page 0 is exactly full; next write splits? No -
+        # exactly page-sized blobs align. Force a split with a partial
+        # fill first via a compressing codec:
+        codec_ftl = _codec_ftl()
+        half = ratio_controlled_bytes(PAGE_BYTES, 0.5, seed=9)
+        raw = random.Random(10).randbytes(PAGE_BYTES)
+        codec_ftl.write(0, half)     # partially fills the open page
+        report = codec_ftl.write(1, raw)  # raw 4 KB must split
+        assert report.split
+        assert codec_ftl.read(1)[0] == raw
+        assert codec_ftl.read(1)[1].pages_read == 2
+
+
+class TestGarbageCollection:
+    def test_sustained_overwrites_trigger_gc(self):
+        ftl = _codec_ftl(pages=32)
+        rng = random.Random(0)
+        for i in range(300):
+            lpn = rng.randrange(12)
+            ftl.write(lpn, ratio_controlled_bytes(
+                PAGE_BYTES, rng.choice([0.3, 0.6]), seed=i))
+        assert ftl.stats.pages_erased > 0
+        ftl.check_invariants()
+
+    def test_data_survives_gc(self):
+        ftl = _codec_ftl(pages=32)
+        rng = random.Random(4)
+        expected = {}
+        for i in range(250):
+            lpn = rng.randrange(10)
+            data = ratio_controlled_bytes(PAGE_BYTES, 0.5, seed=1000 + i)
+            ftl.write(lpn, data)
+            expected[lpn] = data
+        for lpn, data in expected.items():
+            assert ftl.read(lpn)[0] == data
+
+    def test_capacity_exhaustion_raises(self):
+        ftl = _identity_ftl(pages=8)
+        with pytest.raises(CapacityError):
+            for lpn in range(32):
+                ftl.write(lpn, random.Random(lpn).randbytes(PAGE_BYTES))
+
+    def test_write_amplification_reported(self):
+        ftl = _codec_ftl(pages=48)
+        rng = random.Random(8)
+        for i in range(400):
+            ftl.write(rng.randrange(16),
+                      ratio_controlled_bytes(PAGE_BYTES, 0.5, seed=i))
+        assert ftl.stats.write_amplification >= 0.9
+        assert ftl.stats.effective_compression_ratio < 0.9
+
+
+class TestCompressionCapacityGain:
+    def test_effective_capacity_exceeds_physical(self):
+        """§4.2: compressible data stores beyond raw capacity."""
+        ftl = _codec_ftl(pages=16)
+        stored = 0
+        for lpn in range(40):
+            ftl.write(lpn, bytes(PAGE_BYTES))  # zeros: tiny frames
+            stored += 1
+        assert stored * PAGE_BYTES > 16 * PAGE_BYTES
+        for lpn in range(40):
+            assert ftl.read(lpn)[0] == bytes(PAGE_BYTES)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 7), st.sampled_from([0.2, 0.5, 0.8, 1.0])),
+    min_size=1, max_size=60,
+))
+def test_ftl_random_workload_property(ops):
+    """Arbitrary overwrite sequences keep mapping + data consistent."""
+    codec = DpzipCodec()
+    ftl = CompressingFtl(40, codec.compress_bytes, codec.decompress)
+    expected = {}
+    for index, (lpn, ratio) in enumerate(ops):
+        data = ratio_controlled_bytes(PAGE_BYTES, ratio, seed=index)
+        ftl.write(lpn, data)
+        expected[lpn] = data
+    ftl.check_invariants()
+    for lpn, data in expected.items():
+        assert ftl.read(lpn)[0] == data

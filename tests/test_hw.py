@@ -1,0 +1,179 @@
+"""Device-model tests: calibration against the paper's Figure 8/9 numbers."""
+
+import pytest
+
+from repro.hw import (
+    CpuSoftwareDevice,
+    DpzipEngine,
+    Floorplan,
+    Placement,
+    Qat4xxx,
+    Qat8970,
+    net_power_w,
+)
+from repro.hw.power import DEVICE_POWER
+from repro.workloads.corpus import build_corpus
+
+TOLERANCE = 0.30  # +-30% on calibrated absolute values
+
+
+@pytest.fixture(scope="module")
+def page4k():
+    corpus = build_corpus(member_size=64 * 1024)
+    return corpus[0].data[:4096]
+
+
+@pytest.fixture(scope="module")
+def chunk64k():
+    corpus = build_corpus(member_size=64 * 1024)
+    return corpus[0].data[:65536]
+
+
+def within(value, target, tolerance=TOLERANCE):
+    return abs(value - target) <= target * tolerance
+
+
+class TestCpuModel:
+    def test_deflate_latency_70us(self, page4k):
+        cpu = CpuSoftwareDevice("deflate", level=1)
+        assert within(cpu.single_thread_ns(4096) / 1000.0, 70.0, 0.1)
+
+    def test_deflate_throughput_4k(self):
+        cpu = CpuSoftwareDevice("deflate", level=1)
+        assert within(cpu.aggregate_gbps(4096), 4.9, 0.15)
+        assert within(cpu.aggregate_gbps(4096, decompress=True), 13.6, 0.15)
+
+    def test_snappy_throughput(self):
+        cpu = CpuSoftwareDevice("snappy")
+        assert within(cpu.aggregate_gbps(4096), 22.8, 0.15)
+        assert within(cpu.aggregate_gbps(4096, decompress=True), 20.3, 0.15)
+
+    def test_zstd_latencies(self):
+        cpu = CpuSoftwareDevice("zstd", level=1)
+        assert within(cpu.single_thread_ns(4096) / 1000.0, 20.4, 0.1)
+        assert within(cpu.single_thread_ns(4096, True) / 1000.0, 7.4, 0.1)
+
+    def test_software_64k_gain_about_30pct(self):
+        """Finding 2: 64 KB chunks lift software Deflate ~30%."""
+        cpu = CpuSoftwareDevice("deflate", level=1)
+        gain = cpu.aggregate_gbps(65536) / cpu.aggregate_gbps(4096)
+        assert 1.15 <= gain <= 1.45
+
+    def test_functional_roundtrip(self, page4k):
+        cpu = CpuSoftwareDevice("deflate", level=1)
+        result = cpu.compress(page4k)
+        assert cpu.decompress(result.payload).payload == page4k
+
+    def test_unknown_algorithm_rejected(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            CpuSoftwareDevice("brotli")
+
+
+class TestQatModels:
+    def test_qat8970_4k_calibration(self, page4k):
+        device = Qat8970()
+        comp = device.compress(page4k)
+        decomp = device.decompress(comp.payload)
+        assert within(comp.latency.total_us, 28.0)
+        assert within(decomp.latency.total_us, 14.0)
+        assert within(3 * 4096 / comp.engine_busy_ns, 5.1, 0.15)
+        assert within(3 * 4096 / decomp.engine_busy_ns, 7.6, 0.15)
+
+    def test_qat4xxx_4k_calibration(self, page4k):
+        device = Qat4xxx()
+        comp = device.compress(page4k)
+        decomp = device.decompress(comp.payload)
+        assert within(comp.latency.total_us, 9.0)
+        assert within(decomp.latency.total_us, 6.0)
+        assert within(4096 / comp.engine_busy_ns, 4.3, 0.15)
+        assert within(4096 / decomp.engine_busy_ns, 7.0, 0.15)
+
+    def test_64k_hardware_gain(self, chunk64k):
+        """Finding 2: 64 KB boosts QAT compression 74-120%."""
+        for device, engines, base in ((Qat8970(), 3, 5.1),
+                                      (Qat4xxx(), 1, 4.3)):
+            comp = device.compress(chunk64k)
+            gbps = engines * 65536 / comp.engine_busy_ns
+            assert 1.5 <= gbps / base <= 2.6
+
+    def test_placements(self):
+        assert Qat8970().placement is Placement.PERIPHERAL
+        assert Qat4xxx().placement is Placement.ON_CHIP
+
+    def test_queue_ceiling_is_64(self):
+        assert Qat8970().queue_depth == 64
+        assert Qat4xxx().queue_depth == 64
+
+    def test_incompressible_degradation(self):
+        """Finding 5: 4xxx loses ~67%/77% on incompressible data."""
+        device = Qat4xxx()
+        assert device.comp_factor(1.0) == pytest.approx(0.33, abs=0.02)
+        assert device.decomp_factor(1.0) == pytest.approx(0.23, abs=0.02)
+        assert device.comp_factor(0.2) == pytest.approx(1.0)
+        # 8970 degrades less steeply than 4xxx.
+        assert Qat8970().comp_factor(1.0) > device.comp_factor(1.0)
+
+    def test_functional_roundtrip(self, page4k):
+        for device in (Qat8970(), Qat4xxx()):
+            comp = device.compress(page4k)
+            assert device.decompress(comp.payload).payload == page4k
+
+
+class TestDpzipEngine:
+    def test_two_pipelines(self):
+        assert DpzipEngine().engine_count == 2
+
+    def test_4k_engine_rates(self, page4k):
+        engine = DpzipEngine()
+        comp = engine.compress(page4k)
+        decomp = engine.decompress(comp.payload)
+        # Per-pipeline rates that aggregate to the paper's device numbers.
+        assert 5.0 <= 4096 / comp.engine_busy_ns <= 8.2
+        assert 8.0 <= 4096 / decomp.engine_busy_ns <= 13.0
+
+    def test_64k_aggregate_near_13_8(self, chunk64k):
+        engine = DpzipEngine()
+        comp = engine.compress(chunk64k)
+        aggregate = 2 * 65536 / comp.engine_busy_ns
+        assert within(aggregate, 13.8, 0.2)
+
+    def test_robustness_across_compressibility(self):
+        """Finding 5: DPZip comp throughput spread stays small."""
+        from repro.workloads.datagen import ratio_controlled_bytes
+        engine = DpzipEngine()
+        rates = []
+        for target in (0.0, 0.3, 0.5, 0.7, 0.9, 1.0):
+            data = ratio_controlled_bytes(4096, target, seed=13)
+            comp = engine.compress(data)
+            rates.append(4096 / comp.engine_busy_ns)
+        assert (max(rates) - min(rates)) / max(rates) <= 0.30
+
+    def test_area_model(self):
+        plan = Floorplan()
+        assert plan.cdpu_mm2 == pytest.approx(6.0, rel=0.15)
+        assert plan.cdpu_fraction == pytest.approx(0.045, rel=0.2)
+        bigger = plan.with_additional_algorithm()
+        assert bigger.cdpu_mm2 > plan.cdpu_mm2 * 1.5
+
+
+class TestPowerModel:
+    def test_dpzip_engine_is_2_5_watts(self):
+        assert DEVICE_POWER["dpzip-engine"].active_w == 2.5
+
+    def test_module_level_gap_vs_cpu(self):
+        """Finding 12: ~50x module-level efficiency gap."""
+        cpu = net_power_w("cpu").total_w
+        engine = DEVICE_POWER["dpzip-engine"].active_w
+        assert cpu / engine == pytest.approx(52.8, rel=0.1)
+
+    def test_qat_includes_polling_power(self):
+        qat = net_power_w("qat8970", host_threads=8)
+        ssd = net_power_w("ssd", host_threads=8)
+        assert qat.polling_w > 0
+        assert ssd.polling_w == 0
+
+    def test_unknown_config_rejected(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            net_power_w("tpu")

@@ -1,0 +1,86 @@
+"""Interconnect model tests against the paper's Figure 11 curve."""
+
+import pytest
+
+from repro.experiments.paper_targets import (
+    FIG11_QAT4XXX_READ_US,
+    FIG11_QAT8970_READ_US,
+)
+from repro.interconnect import (
+    AxiPath,
+    DdioPath,
+    PcieLink,
+    PcieLinkSpec,
+    dpcsd_link,
+    qat8970_link,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPcie:
+    def test_link_bandwidth_by_generation(self):
+        assert qat8970_link().spec.link_bandwidth_gbps == pytest.approx(
+            15.76, rel=0.01)
+        assert dpcsd_link().spec.link_bandwidth_gbps == pytest.approx(
+            15.75, rel=0.01)
+
+    def test_invalid_generation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PcieLinkSpec(generation=2)
+
+    def test_invalid_lanes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PcieLinkSpec(lanes=3)
+
+    @pytest.mark.parametrize("chunk,target", FIG11_QAT8970_READ_US.items())
+    def test_qat8970_read_curve_matches_paper(self, chunk, target):
+        link = qat8970_link()
+        measured = link.dma_read_ns(chunk) / 1000.0
+        assert abs(measured - target) <= target * 0.15
+
+    def test_write_cheaper_than_read(self):
+        link = qat8970_link()
+        assert link.dma_write_ns(4096) < link.dma_read_ns(4096)
+
+    def test_byte_accounting(self):
+        link = qat8970_link()
+        link.dma_read_ns(1000)
+        link.dma_write_ns(500)
+        assert link.bytes_read == 1000
+        assert link.bytes_written == 500
+
+
+class TestDdio:
+    @pytest.mark.parametrize("chunk,target", FIG11_QAT4XXX_READ_US.items())
+    def test_qat4xxx_read_curve_matches_paper(self, chunk, target):
+        path = DdioPath()
+        measured = path.dma_read_ns(chunk) / 1000.0
+        assert abs(measured - target) <= max(target * 0.35, 0.15)
+
+    def test_ddio_vs_pcie_gap_up_to_70x(self):
+        """Figure 11a: the peripheral path is up to ~70x slower."""
+        pcie = qat8970_link()
+        ddio = DdioPath()
+        ratio = pcie.dma_read_ns(65536) / ddio.dma_read_ns(65536)
+        assert 50 <= ratio <= 90
+
+    def test_llc_miss_penalty(self):
+        path = DdioPath()
+        hot = path.dma_read_ns(4096, llc_resident=True)
+        cold = path.dma_read_ns(4096, llc_resident=False)
+        assert cold > hot
+        assert path.llc.hits == 1 and path.llc.misses == 1
+
+
+class TestAxi:
+    def test_in_storage_path_is_fastest(self):
+        axi = AxiPath()
+        ddio = DdioPath()
+        pcie = qat8970_link()
+        axi_ns = axi.transfer_ns(4096)
+        assert axi_ns < ddio.dma_read_ns(4096)
+        assert axi_ns < pcie.dma_read_ns(4096)
+
+    def test_streaming_scales_with_size(self):
+        axi = AxiPath()
+        assert axi.transfer_ns(65536) > axi.transfer_ns(4096)

@@ -1,0 +1,239 @@
+"""Tests for the discrete-event kernel and statistics collectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import (
+    LatencyRecorder,
+    Resource,
+    Simulator,
+    Store,
+    ThroughputTracker,
+    TimeSeries,
+    coefficient_of_variation,
+    mean,
+    percentile,
+)
+
+
+class TestSimulator:
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        log = []
+
+        def proc(sim):
+            yield sim.timeout(10)
+            log.append(sim.now)
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert log == [10.0]
+
+    def test_run_until_stops_early(self):
+        sim = Simulator()
+
+        def proc(sim):
+            yield sim.timeout(100)
+
+        sim.spawn(proc(sim))
+        sim.run(until=50)
+        assert sim.now == 50
+
+    def test_ordering_is_fifo_at_same_time(self):
+        sim = Simulator()
+        log = []
+
+        def proc(sim, name):
+            yield sim.timeout(5)
+            log.append(name)
+
+        sim.spawn(proc(sim, "a"))
+        sim.spawn(proc(sim, "b"))
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().timeout(-1)
+
+    def test_process_waits_on_process(self):
+        sim = Simulator()
+        log = []
+
+        def child(sim):
+            yield sim.timeout(7)
+            log.append("child")
+            return 42
+
+        def parent(sim):
+            value = yield sim.spawn(child(sim))
+            log.append(("parent", value))
+
+        sim.spawn(parent(sim))
+        sim.run()
+        assert log == ["child", ("parent", 42)]
+
+    def test_waiting_on_completed_process_resumes(self):
+        sim = Simulator()
+        log = []
+
+        def immediate(sim):
+            return
+            yield  # pragma: no cover - makes this a generator
+
+        child = sim.spawn(immediate(sim))
+
+        def parent(sim):
+            yield sim.timeout(5)
+            yield child  # child finished long ago; must not deadlock
+            log.append(sim.now)
+
+        sim.spawn(parent(sim))
+        sim.run()
+        assert log == [5.0]
+
+    def test_all_of_gates_on_every_event(self):
+        sim = Simulator()
+        log = []
+
+        def waiter(sim):
+            events = [sim.timeout(3), sim.timeout(9), sim.timeout(6)]
+            yield sim.all_of(events)
+            log.append(sim.now)
+
+        sim.spawn(waiter(sim))
+        sim.run()
+        assert log == [9.0]
+
+    def test_event_double_succeed_rejected(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+
+class TestResource:
+    def test_capacity_enforced(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        order = []
+
+        def worker(sim, name, hold):
+            yield resource.acquire()
+            order.append(("start", name, sim.now))
+            yield sim.timeout(hold)
+            resource.release()
+
+        sim.spawn(worker(sim, "a", 10))
+        sim.spawn(worker(sim, "b", 5))
+        sim.run()
+        assert order == [("start", "a", 0.0), ("start", "b", 10.0)]
+
+    def test_release_without_acquire_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            Resource(sim, 1).release()
+
+    def test_peak_usage_tracked(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=3)
+
+        def worker(sim):
+            yield resource.acquire()
+            yield sim.timeout(5)
+            resource.release()
+
+        for _ in range(3):
+            sim.spawn(worker(sim))
+        sim.run()
+        assert resource.peak_in_use == 3
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(sim):
+            item = yield store.get()
+            got.append(item)
+
+        store.put("x")
+        sim.spawn(consumer(sim))
+        sim.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(sim):
+            item = yield store.get()
+            got.append((item, sim.now))
+
+        def producer(sim):
+            yield sim.timeout(8)
+            store.put("y")
+
+        sim.spawn(consumer(sim))
+        sim.spawn(producer(sim))
+        sim.run()
+        assert got == [("y", 8.0)]
+
+
+class TestStats:
+    def test_percentile_bounds(self):
+        samples = [float(i) for i in range(101)]
+        assert percentile(samples, 0.0) == 0.0
+        assert percentile(samples, 1.0) == 100.0
+        assert percentile(samples, 0.5) == 50.0
+
+    def test_percentile_interpolates(self):
+        assert percentile([0.0, 10.0], 0.25) == 2.5
+
+    def test_percentile_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_cv_of_constant_is_zero(self):
+        assert coefficient_of_variation([5.0] * 10) == 0.0
+
+    def test_cv_positive_for_varied(self):
+        assert coefficient_of_variation([1.0, 2.0, 3.0]) > 0.0
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_latency_recorder(self):
+        recorder = LatencyRecorder()
+        for v in (1000.0, 2000.0, 3000.0):
+            recorder.record(v)
+        assert recorder.mean_us() == 2.0
+        assert recorder.count == 3
+        with pytest.raises(ValueError):
+            recorder.record(-1.0)
+
+    def test_throughput_tracker(self):
+        tracker = ThroughputTracker()
+        tracker.record(4096, 1000.0)
+        assert tracker.gbps() == pytest.approx(4.096)
+
+    def test_timeseries_binning_and_cv(self):
+        series = TimeSeries(interval_ns=1e9)
+        for second in range(10):
+            series.record(second * 1e9 + 0.5e9, 100_000_000)
+        values = series.series_mbps()
+        assert len(values) == 10
+        assert all(v == pytest.approx(100.0) for v in values)
+        assert series.cv_percent() == pytest.approx(0.0)
+
+
+@given(st.lists(st.floats(0.1, 1e6), min_size=1, max_size=200),
+       st.floats(0.0, 1.0))
+def test_percentile_within_range_property(samples, frac):
+    value = percentile(samples, frac)
+    assert min(samples) <= value <= max(samples)

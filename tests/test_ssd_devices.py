@@ -1,0 +1,128 @@
+"""CSD device tests: DP-CSD, DPZip-DRAM, plain SSD, CSD 2000."""
+
+import pytest
+
+from repro.ssd import Csd2000, DpCsd, DpzipDram, PlainSsd
+from repro.ssd.nand import NandArray, NandSpec
+from repro.ssd.ecc import EccEngine, EccSpec
+from repro.workloads.corpus import build_corpus
+from repro.workloads.datagen import ratio_controlled_bytes
+
+
+@pytest.fixture(scope="module")
+def page4k():
+    return build_corpus(member_size=16 * 1024)[0].data[:4096]
+
+
+class TestNand:
+    def test_bandwidth_asymmetry(self):
+        spec = NandSpec()
+        assert spec.read_bandwidth_gbps > spec.program_bandwidth_gbps
+
+    def test_service_time_accounting(self):
+        nand = NandArray()
+        nand.program_ns(16384)
+        nand.read_service_ns(4096)
+        assert nand.bytes_programmed == 16384
+        assert nand.bytes_read == 4096
+
+    def test_buffered_write_latency_sub_10us(self):
+        """§5.2.3: internal buffered writes acknowledge in sub-10 us."""
+        nand = NandArray()
+        assert nand.program_latency_ns(4096) < 10_000
+
+
+class TestEcc:
+    def test_parity_overhead(self):
+        ecc = EccEngine(EccSpec(parity_fraction=0.1))
+        assert ecc.stored_bytes(1000) == 1100
+
+    def test_decode_slower_than_encode(self):
+        ecc = EccEngine()
+        assert ecc.decode_ns(4096) > ecc.encode_ns(4096)
+
+
+class TestDpzipDram:
+    def test_4k_write_read_calibration(self, page4k):
+        device = DpzipDram(physical_pages=1024)
+        comp = device.compress(page4k)
+        decomp = device.decompress(comp.payload)
+        assert decomp.payload == page4k
+        # Paper Fig. 8: 4.7 / 2.6 us and 5.6 / 9.4 GB/s.
+        assert 2.8 <= comp.latency.total_us <= 6.2
+        assert 1.6 <= decomp.latency.total_us <= 3.6
+        assert 5.0 <= device.device_throughput_gbps(comp) <= 6.3
+        assert 8.5 <= device.device_throughput_gbps(decomp, write=False) <= 10.5
+
+    def test_64k_write_near_13_8(self):
+        device = DpzipDram(physical_pages=4096)
+        data = build_corpus(member_size=64 * 1024)[0].data[:65536]
+        comp = device.compress(data)
+        assert 11.0 <= device.device_throughput_gbps(comp) <= 16.0
+
+    def test_ratio_stable_across_request_size(self, page4k):
+        """Finding 1: DPZip compresses per-4KB-page regardless of IO size."""
+        device = DpzipDram(physical_pages=4096)
+        small = device.compress(page4k)
+        big_data = page4k * 8
+        big = device.compress(big_data)
+        small_ratio = small.compressed_bytes_stored / 4096
+        big_ratio = big.compressed_bytes_stored / len(big_data)
+        assert abs(small_ratio - big_ratio) < 0.05
+
+
+class TestDpCsdVsDram:
+    def test_nand_limits_incompressible_throughput(self):
+        """Figure 12: DP-CSD shows no rebound at 100% ratio."""
+        dram = DpzipDram(physical_pages=8192)
+        nand = DpCsd(physical_pages=8192)
+        data = ratio_controlled_bytes(16384, 1.0, seed=3)
+        dram_comp = dram.compress(data)
+        nand_comp = nand.compress(data)
+        dram_gbps = dram.device_throughput_gbps(dram_comp)
+        nand_gbps = nand.device_throughput_gbps(nand_comp)
+        assert nand_gbps < dram_gbps * 0.6
+
+    def test_compressible_data_equalizes(self):
+        dram = DpzipDram(physical_pages=8192)
+        nand = DpCsd(physical_pages=8192)
+        data = ratio_controlled_bytes(16384, 0.0, seed=3)
+        dram_gbps = dram.device_throughput_gbps(dram.compress(data))
+        nand_gbps = nand.device_throughput_gbps(nand.compress(data))
+        assert nand_gbps == pytest.approx(dram_gbps, rel=0.15)
+
+    def test_host_iops_ceiling_binds_4k(self, page4k):
+        device = DpCsd(physical_pages=1024)
+        comp = device.compress(page4k)
+        limits = device.throughput_limits(comp)
+        assert limits.host_iops * 4096 / 1e9 < limits.engine_gbps
+
+
+class TestPlainSsd:
+    def test_no_compression(self, page4k):
+        device = PlainSsd(physical_pages=1024)
+        comp = device.compress(page4k)
+        assert comp.compressed_bytes_stored >= 4096
+        assert device.decompress(comp.payload).payload == page4k
+
+    def test_write_faster_than_dpcsd_latency_wise(self, page4k):
+        plain = PlainSsd(physical_pages=1024).compress(page4k)
+        dpcsd = DpCsd(physical_pages=1024).compress(page4k)
+        # Compression adds ~1-2 us to the write path.
+        assert dpcsd.latency.total_us >= plain.latency.total_us
+
+
+class TestCsd2000:
+    def test_functional_roundtrip(self, page4k):
+        device = Csd2000()
+        comp = device.compress(page4k)
+        assert device.decompress(comp.payload).payload == page4k
+
+    def test_slow_fpga_engine(self, page4k):
+        """Finding 7: FPGA engine is far below the ASIC devices."""
+        csd = Csd2000()
+        comp = csd.compress(page4k)
+        assert 4096 / comp.engine_busy_ns < 1.0  # < 1 GB/s at 4 KB
+
+    def test_shallow_queue(self):
+        assert Csd2000().queue_depth == 8
