@@ -1,0 +1,59 @@
+"""Offload-service scheduler microbenchmarks.
+
+Tracks the wall-clock cost of the DES service loop itself — simulated
+requests routed per second at a fixed offered load — so future PRs can
+see scheduler/dispatch overhead regressions, plus the acceptance check
+that cost-model dispatch sustains at least the best placement-oblivious
+policy's throughput at equal offered load.
+"""
+
+import pytest
+
+from repro.profiling import format_table
+from repro.service import (
+    OpenLoopStream,
+    calibrated,
+    default_fleet,
+    run_offload_service,
+)
+
+#: Overload point for the mixed fleet (its ASIC+CPU capacity is lower),
+#: so policy quality shows up as completed throughput, not just latency.
+_LOAD_GBPS = 48.0
+_DURATION_NS = 1.5e6
+_SEED = 5
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """Calibrate once; every run reuses the same cost models."""
+    return calibrated(default_fleet())
+
+
+def _stream():
+    return OpenLoopStream(offered_gbps=_LOAD_GBPS, duration_ns=_DURATION_NS,
+                          tenants=4, seed=_SEED)
+
+
+def test_bench_service_loop_rate(benchmark, fleet):
+    """Requests/sec the DES loop sustains under cost-model dispatch."""
+    report = benchmark(run_offload_service, _stream(),
+                       policy="cost-model", fleet=fleet)
+    assert report.completed > 0
+    benchmark.extra_info["simulated_requests"] = report.offered
+    benchmark.extra_info["completed_gbps"] = round(report.completed_gbps, 2)
+
+
+def test_bench_policy_throughput(fleet, show_tables):
+    """Cost-model >= best static policy at equal offered load."""
+    reports = {
+        policy: run_offload_service(_stream(), policy=policy, fleet=fleet)
+        for policy in ("static", "round-robin", "shortest-queue",
+                       "cost-model")
+    }
+    if show_tables:
+        print("\n" + format_table([r.row() for r in reports.values()],
+                                  floatfmt=".2f"))
+    best_static = max(reports["static"].completed_gbps,
+                      reports["round-robin"].completed_gbps)
+    assert reports["cost-model"].completed_gbps >= best_static

@@ -12,7 +12,38 @@ The package provides:
   and controller SoC;
 * :mod:`repro.apps` -- RocksDB-like LSM store and Btrfs/ZFS-like
   filesystems used for end-to-end evaluation;
+* :mod:`repro.service` -- the compression offload service: placement-
+  aware scheduling, batching and admission control over a CDPU fleet;
 * :mod:`repro.experiments` -- one module per paper figure/table.
 """
 
-__version__ = "1.0.0"
+#: Service-layer API re-exported at the top level, resolved lazily
+#: (PEP 562) so ``import repro`` stays free of the hw/codec import
+#: chain until the service is actually used.
+_SERVICE_EXPORTS = (
+    "AdmissionController",
+    "DeviceCostModel",
+    "FleetDevice",
+    "OffloadRequest",
+    "OffloadService",
+    "OpenLoopStream",
+    "ServiceReport",
+    "default_fleet",
+    "make_policy",
+    "run_offload_service",
+)
+
+__all__ = list(_SERVICE_EXPORTS)
+
+__version__ = "1.1.0"
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        from repro import service
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_SERVICE_EXPORTS))

@@ -37,3 +37,7 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised when a workload generator receives invalid parameters."""
+
+
+class ServiceError(ReproError):
+    """Raised on offload-service misuse (bad policy, queue overrun)."""

@@ -15,6 +15,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     fig20_multitenant,
     microbench,
     scalability,
+    service_scaling,
     tables,
     ycsb_suite,
 )

@@ -2,6 +2,11 @@
 
 Runs the requested experiments (default: all) and prints their tables.
 ``--full`` switches off quick mode for paper-scale workloads.
+
+``repro-experiment service [options]`` is a dedicated subcommand for
+the offload-service scaling sweep with tunable load points, policies,
+fleet mixes and duration (the registered ``service_scaling`` id runs
+the same sweep at its default settings).
 """
 
 from __future__ import annotations
@@ -9,15 +14,67 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import ServiceError
 from repro.experiments import REGISTRY, run_experiment
 
 
+def service_main(argv: list[str]) -> int:
+    """The ``service`` subcommand: parameterized service-scaling sweep."""
+    from repro.experiments.service_scaling import (
+        DEFAULT_POLICIES,
+        MIXES,
+        run_sweep,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment service",
+        description="Sweep the compression offload service "
+                    "(offered load x fleet mix x dispatch policy).",
+    )
+    parser.add_argument("--load-gbps", type=float, nargs="+",
+                        default=[8.0, 24.0, 48.0],
+                        help="offered load points in GB/s")
+    parser.add_argument("--policy", nargs="+", default=list(DEFAULT_POLICIES),
+                        choices=list(DEFAULT_POLICIES),
+                        help="dispatch policies to compare")
+    parser.add_argument("--mix", nargs="+", default=["mixed"],
+                        choices=sorted(MIXES),
+                        help="fleet mixes to sweep")
+    parser.add_argument("--duration-ms", type=float, default=2.0,
+                        help="virtual stream duration per run")
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=29)
+    parser.add_argument("--no-spill", action="store_true",
+                        help="disable the CPU-software spill device")
+    args = parser.parse_args(argv)
+    try:
+        result = run_sweep(
+            loads_gbps=tuple(args.load_gbps),
+            policies=tuple(args.policy),
+            mixes=tuple(args.mix),
+            duration_ns=args.duration_ms * 1e6,
+            tenants=args.tenants,
+            seed=args.seed,
+            spill=not args.no_spill,
+        )
+    except ServiceError as error:
+        print(f"repro-experiment service: error: {error}", file=sys.stderr)
+        return 2
+    print(result.table())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "service":
+        return service_main(argv[1:])
     parser = argparse.ArgumentParser(
         description="Reproduce figures/tables from the ASIC-CDPU paper."
     )
     parser.add_argument("names", nargs="*",
-                        help="experiment ids (default: all)")
+                        help="experiment ids (default: all), or the "
+                             "'service' subcommand (see "
+                             "'repro-experiment service --help')")
     parser.add_argument("--full", action="store_true",
                         help="paper-scale workloads instead of quick mode")
     parser.add_argument("--list", action="store_true",
@@ -28,6 +85,13 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
     names = args.names or sorted(REGISTRY)
+    if "service" in names:
+        # Flags placed before the subcommand land here; point at the
+        # required ordering instead of "unknown experiment 'service'".
+        print("'service' is a subcommand and must come first: "
+              "repro-experiment service [options] "
+              "(see 'repro-experiment service --help')", file=sys.stderr)
+        return 2
     for name in names:
         try:
             result = run_experiment(name, quick=not args.full)

@@ -1,0 +1,85 @@
+"""Service-scaling sweep: offered load x fleet mix x dispatch policy.
+
+Extends the paper's single-device profiling into the serving regime the
+ROADMAP targets: an open-loop multi-tenant stream is routed across a
+fleet mixing the Figure 1 placements, once per dispatch policy.  The
+sweep shows (a) all policies tie below saturation, (b) placement-aware
+cost-model dispatch sustains the highest goodput past saturation while
+placement-oblivious policies shed on their slowest member, and (c) tail
+latency separates the policies well before throughput does.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServiceError
+from repro.experiments.common import ExperimentResult, register
+from repro.hw.cpu import CpuSoftwareDevice
+from repro.hw.dpzip import DpzipEngine
+from repro.hw.qat import Qat4xxx, Qat8970
+from repro.service import (
+    OpenLoopStream,
+    calibrated,
+    default_fleet,
+    run_offload_service,
+)
+
+DEFAULT_POLICIES = ("static", "round-robin", "shortest-queue", "cost-model")
+
+#: Fleet mixes by name; "mixed" is one device per placement column.
+MIXES = {
+    "mixed": default_fleet,
+    "asic": lambda: [Qat8970(), Qat4xxx(), DpzipEngine(), DpzipEngine()],
+}
+
+
+def run_sweep(loads_gbps: tuple[float, ...],
+              policies: tuple[str, ...] = DEFAULT_POLICIES,
+              mixes: tuple[str, ...] = ("mixed",),
+              duration_ns: float = 2e6,
+              tenants: int = 4,
+              seed: int = 29,
+              spill: bool = True) -> ExperimentResult:
+    """Run the full cross product and tabulate per-run service reports."""
+    result = ExperimentResult(
+        experiment_id="service_scaling",
+        title="Offload service: goodput/latency by load, mix and policy",
+        notes="open-loop Poisson arrivals; spill device: cpu-snappy"
+        if spill else "open-loop Poisson arrivals; no spill device",
+    )
+    # The spill valve is an emergency reserve (16 CPU threads running
+    # snappy), deliberately much smaller than the fleet it protects.
+    spill_pair = (calibrated([CpuSoftwareDevice("snappy", threads=16)])[0]
+                  if spill else None)
+    for mix_name in mixes:
+        if mix_name not in MIXES:
+            raise ServiceError(
+                f"unknown fleet mix {mix_name!r}; known: {sorted(MIXES)}"
+            )
+        fleet = calibrated(MIXES[mix_name]())
+        for load in loads_gbps:
+            stream = OpenLoopStream(offered_gbps=load,
+                                    duration_ns=duration_ns,
+                                    tenants=tenants, seed=seed)
+            for policy in policies:
+                report = run_offload_service(stream, policy=policy,
+                                             fleet=fleet, spill=spill_pair)
+                result.rows.append({
+                    "mix": mix_name,
+                    "offered_gbps": load,
+                    "policy": policy,
+                    "completed_gbps": report.completed_gbps,
+                    "p50_us": report.p50_us,
+                    "p99_us": report.p99_us,
+                    "spilled": report.spilled,
+                    "shed": report.shed,
+                })
+    return result
+
+
+@register("service_scaling")
+def run(quick: bool = True) -> ExperimentResult:
+    if quick:
+        return run_sweep(loads_gbps=(8.0, 24.0, 48.0),
+                         mixes=("mixed",), duration_ns=1.5e6)
+    return run_sweep(loads_gbps=(4.0, 8.0, 16.0, 24.0, 32.0, 48.0, 64.0),
+                     mixes=("mixed", "asic"), duration_ns=10e6)

@@ -1,0 +1,58 @@
+"""Compression offload service over a heterogeneous CDPU fleet.
+
+Maps the paper's placement taxonomy (Figure 1: CPU software, peripheral,
+on-chip, in-storage) onto a serving layer: open-loop request streams,
+pluggable placement policies, batched submission, QoS arbitration per
+device (Figure 20), and admission control with CPU-software spill.
+"""
+
+from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.fleet import Batcher, FleetDevice
+from repro.service.model import (
+    DeviceCostModel,
+    ModeledCost,
+    RatioAnchor,
+    calibrated,
+)
+from repro.service.offload import (
+    OffloadService,
+    ServiceMetrics,
+    ServiceReport,
+    default_fleet,
+    run_offload_service,
+)
+from repro.service.policy import (
+    POLICIES,
+    CostModelPolicy,
+    DispatchPolicy,
+    RoundRobin,
+    ShortestQueue,
+    StaticPinning,
+    make_policy,
+)
+from repro.service.request import OffloadRequest, OpenLoopStream
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "Batcher",
+    "CostModelPolicy",
+    "DeviceCostModel",
+    "DispatchPolicy",
+    "FleetDevice",
+    "ModeledCost",
+    "OffloadRequest",
+    "OffloadService",
+    "OpenLoopStream",
+    "POLICIES",
+    "RatioAnchor",
+    "RoundRobin",
+    "ServiceMetrics",
+    "ServiceReport",
+    "ShortestQueue",
+    "StaticPinning",
+    "calibrated",
+    "default_fleet",
+    "make_policy",
+    "run_offload_service",
+]

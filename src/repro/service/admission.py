@@ -1,0 +1,45 @@
+"""Admission control: shed or spill when the fleet saturates.
+
+The controller watches fleet utilization (in-flight requests over
+aggregate queue capacity) at every submission.  Past
+``spill_threshold`` new work is redirected to the CPU-software spill
+device — trading the paper's hardware-offload latency win for
+availability, exactly the fallback a production deployment keeps when
+accelerators brown out.  Past ``shed_threshold`` requests are dropped
+outright, bounding queueing delay for everything already admitted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ServiceError
+
+
+class AdmissionDecision(enum.Enum):
+    ADMIT = "admit"
+    SPILL = "spill"
+    SHED = "shed"
+
+
+@dataclass
+class AdmissionController:
+    """Threshold-based admission over fleet utilization in [0, 1]."""
+
+    spill_threshold: float = 0.70
+    shed_threshold: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.spill_threshold <= self.shed_threshold:
+            raise ServiceError(
+                f"need 0 <= spill ({self.spill_threshold}) <= "
+                f"shed ({self.shed_threshold})"
+            )
+
+    def decide(self, utilization: float) -> AdmissionDecision:
+        if utilization >= self.shed_threshold:
+            return AdmissionDecision.SHED
+        if utilization >= self.spill_threshold:
+            return AdmissionDecision.SPILL
+        return AdmissionDecision.ADMIT

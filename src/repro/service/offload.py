@@ -1,0 +1,277 @@
+"""The compression offload service: open-loop serving over a fleet.
+
+This is the layer the paper's placement taxonomy (Figure 1) feeds
+into: a stream of compression requests from many tenants arrives
+open-loop and must be placed on one of several CDPUs — CPU software,
+peripheral QAT, on-chip QAT, or in-storage DPZip — each with its own
+latency budget, queue and degradation behaviour.  The service runs
+entirely on :class:`repro.sim.engine.Simulator`:
+
+* arrivals come from an :class:`~repro.service.request.OpenLoopStream`;
+* a :class:`~repro.service.policy.DispatchPolicy` picks the placement;
+* each :class:`~repro.service.fleet.FleetDevice` batches submissions
+  and serves engine time through the :mod:`repro.virt.qos` arbiters
+  (so Figure 20's fairness results apply per device);
+* an :class:`~repro.service.admission.AdmissionController` spills to
+  CPU software or sheds when the fleet saturates;
+* per-tenant/per-placement percentiles come out of
+  :mod:`repro.sim.stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Sequence
+
+from repro.errors import ServiceError
+from repro.hw.cpu import CpuSoftwareDevice
+from repro.hw.dpzip import DpzipEngine
+from repro.hw.engine import CdpuDevice
+from repro.hw.qat import Qat4xxx, Qat8970
+from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.fleet import FleetDevice
+from repro.service.model import DeviceCostModel, ModeledCost
+from repro.service.policy import DispatchPolicy, make_policy
+from repro.service.request import OffloadRequest, OpenLoopStream
+from repro.sim.engine import Process, Simulator
+from repro.sim.stats import KeyedLatencyRecorder, LatencyRecorder
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters and recorders accumulated over one service run."""
+
+    offered: int = 0
+    completed: int = 0
+    spilled: int = 0
+    shed: int = 0
+    completed_bytes: int = 0
+    #: Bytes completed inside the measurement window (backlog drained
+    #: after arrivals stop must not inflate goodput).
+    window_bytes: int = 0
+    overall: LatencyRecorder = field(default_factory=LatencyRecorder)
+    #: Keyed by (tenant, placement value) — the Figure 20 breakdown.
+    by_tenant_placement: KeyedLatencyRecorder = field(
+        default_factory=KeyedLatencyRecorder)
+
+
+@dataclass
+class ServiceReport:
+    """Per-run summary: throughput, percentiles, breakdowns."""
+
+    policy: str
+    duration_ns: float
+    offered: int
+    completed: int
+    spilled: int
+    shed: int
+    completed_bytes: int
+    window_bytes: int
+    mean_us: float
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    breakdown: list[dict] = field(default_factory=list)
+    per_device: list[dict] = field(default_factory=list)
+
+    @property
+    def completed_gbps(self) -> float:
+        """Goodput over the measurement window (bytes/ns == GB/s)."""
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.window_bytes / self.duration_ns
+
+    @property
+    def goodput_fraction(self) -> float:
+        return self.completed / self.offered if self.offered else 0.0
+
+    def row(self) -> dict:
+        """Flat row for :func:`repro.profiling.report.format_table`."""
+        return {
+            "policy": self.policy,
+            "completed_gbps": self.completed_gbps,
+            "p50_us": self.p50_us,
+            "p99_us": self.p99_us,
+            "completed": self.completed,
+            "spilled": self.spilled,
+            "shed": self.shed,
+        }
+
+
+class OffloadService:
+    """Routes an open-loop request stream across a CDPU fleet."""
+
+    def __init__(self, sim: Simulator,
+                 devices: Sequence[FleetDevice],
+                 policy: DispatchPolicy | str,
+                 admission: AdmissionController | None = None,
+                 spill_device: FleetDevice | None = None) -> None:
+        if not devices:
+            raise ServiceError("fleet must contain at least one device")
+        self.sim = sim
+        self.devices = list(devices)
+        self.policy = (make_policy(policy) if isinstance(policy, str)
+                       else policy)
+        self.admission = admission
+        self.spill_device = spill_device
+        self.metrics = ServiceMetrics()
+        #: Completions at or before this instant count toward goodput;
+        #: None counts everything (set by :meth:`drive`).
+        self.measure_until_ns: float | None = None
+
+    # -- state ----------------------------------------------------------------
+
+    def utilization(self) -> float:
+        """Fleet fill fraction: in-flight over aggregate queue capacity."""
+        capacity = sum(d.queue_limit for d in self.devices)
+        return sum(d.inflight for d in self.devices) / capacity
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, request: OffloadRequest) -> str:
+        """Route one request; returns 'admitted', 'spilled' or 'shed'."""
+        request.arrival_ns = self.sim.now
+        self.metrics.offered += 1
+        if self.admission is not None:
+            decision = self.admission.decide(self.utilization())
+            if decision is AdmissionDecision.SHED:
+                self.metrics.shed += 1
+                return "shed"
+            if decision is AdmissionDecision.SPILL:
+                return self._spill_or_shed(request)
+        device = self.policy.select(request, self.devices)
+        if device is None or not device.can_accept():
+            # Backpressure: the chosen queue is full (or every queue is,
+            # for the cost-model policy) — fall back rather than block
+            # the open-loop arrival process.
+            return self._spill_or_shed(request)
+        device.enqueue(request, self._on_complete)
+        return "admitted"
+
+    def _spill_or_shed(self, request: OffloadRequest) -> str:
+        spill = self.spill_device
+        if spill is not None and spill.can_accept():
+            self.metrics.spilled += 1
+            spill.enqueue(request, self._on_complete)
+            return "spilled"
+        self.metrics.shed += 1
+        return "shed"
+
+    def _on_complete(self, request: OffloadRequest, device: FleetDevice,
+                     cost: ModeledCost) -> None:
+        latency_ns = self.sim.now - request.arrival_ns
+        self.metrics.completed += 1
+        self.metrics.completed_bytes += request.nbytes
+        if (self.measure_until_ns is None
+                or self.sim.now <= self.measure_until_ns):
+            self.metrics.window_bytes += request.nbytes
+        self.metrics.overall.record(latency_ns)
+        self.metrics.by_tenant_placement.record(
+            (request.tenant, device.placement.value), latency_ns)
+
+    # -- open-loop driving ----------------------------------------------------
+
+    def drive(self, stream: OpenLoopStream) -> Process:
+        """Spawn the arrival process for ``stream`` on the simulator."""
+        self.measure_until_ns = stream.duration_ns
+
+        def arrivals() -> Generator[Any, Any, None]:
+            rng = stream.rng()
+            while True:
+                yield self.sim.timeout(stream.next_gap_ns(rng))
+                if self.sim.now >= stream.duration_ns:
+                    break
+                self.submit(stream.make_request(rng))
+            # Drain: partially-filled batches must not wait on a timer
+            # that will never be joined by further arrivals.
+            for device in self.devices:
+                device.batcher.flush_now()
+            if self.spill_device is not None:
+                self.spill_device.batcher.flush_now()
+        return self.sim.spawn(arrivals())
+
+    # -- reporting ------------------------------------------------------------
+
+    def report(self, duration_ns: float | None = None) -> ServiceReport:
+        metrics = self.metrics
+        summary = metrics.overall.summary_us()
+        per_device = []
+        for device in self.devices + (
+                [self.spill_device] if self.spill_device else []):
+            per_device.append({
+                "device": device.name,
+                "placement": device.placement.value,
+                "completed": device.completed,
+                "peak_inflight": device.peak_inflight,
+                "batches": device.batches_submitted,
+                "engine_gbps": device.throughput.gbps(),
+            })
+        return ServiceReport(
+            policy=self.policy.name,
+            duration_ns=duration_ns if duration_ns is not None
+            else self.sim.now,
+            offered=metrics.offered,
+            completed=metrics.completed,
+            spilled=metrics.spilled,
+            shed=metrics.shed,
+            completed_bytes=metrics.completed_bytes,
+            window_bytes=metrics.window_bytes,
+            mean_us=summary["mean_us"],
+            p50_us=summary["p50_us"],
+            p95_us=summary["p95_us"],
+            p99_us=summary["p99_us"],
+            breakdown=metrics.by_tenant_placement.breakdown(
+                ("tenant", "placement")),
+            per_device=per_device,
+        )
+
+
+def default_fleet() -> list[CdpuDevice]:
+    """The paper's full placement mix: one device per Figure 1 column."""
+    return [
+        CpuSoftwareDevice("deflate"),
+        Qat8970(),      # peripheral
+        Qat4xxx(),      # on-chip
+        DpzipEngine(),  # in-storage
+    ]
+
+
+def run_offload_service(
+        stream: OpenLoopStream,
+        policy: DispatchPolicy | str = "cost-model",
+        fleet: Sequence[tuple[CdpuDevice, DeviceCostModel | None]
+                        | CdpuDevice] | None = None,
+        spill: tuple[CdpuDevice, DeviceCostModel | None]
+        | CdpuDevice | None = None,
+        admission: AdmissionController | None = None,
+        batch_size: int = 4,
+        batch_timeout_ns: float | None = 20_000.0,
+        queue_limit: int | None = None,
+        fair_share_tenants: int | None = None) -> ServiceReport:
+    """One-call service run: build the fleet, drive the stream, report.
+
+    ``fleet``/``spill`` entries may be bare devices (calibrated here) or
+    ``(device, model)`` pairs so sweeps can calibrate once and reuse.
+    """
+    sim = Simulator()
+
+    def as_fleet_device(entry) -> FleetDevice:
+        device, model = (entry if isinstance(entry, tuple)
+                         else (entry, None))
+        return FleetDevice(
+            sim, device, model,
+            queue_limit=queue_limit,
+            batch_size=batch_size,
+            batch_timeout_ns=batch_timeout_ns,
+            fair_share_tenants=fair_share_tenants,
+        )
+
+    members = [as_fleet_device(entry)
+               for entry in (fleet if fleet is not None else default_fleet())]
+    spill_member = as_fleet_device(spill) if spill is not None else None
+    service = OffloadService(sim, members, policy,
+                             admission=admission,
+                             spill_device=spill_member)
+    service.drive(stream)
+    sim.run()
+    return service.report(duration_ns=stream.duration_ns)

@@ -1,0 +1,114 @@
+"""Pluggable placement/dispatch policies for the offload service.
+
+Each policy answers one question per request: *which fleet device
+should serve this?*  The four built-ins span the paper's placement
+discussion (§4-§5): static pinning and round-robin are the
+placement-oblivious baselines, shortest-queue reacts to congestion
+only, and the cost-model policy folds the per-placement latency
+budgets exposed by ``service_profile()`` together with current queue
+depth and the request's size/compressibility — the profiling-driven
+placement choice the paper argues for.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ServiceError
+from repro.service.fleet import FleetDevice
+from repro.service.request import OffloadRequest
+
+
+class DispatchPolicy:
+    """Chooses a fleet device for each request (or None to decline)."""
+
+    name = "policy"
+
+    def select(self, request: OffloadRequest,
+               devices: Sequence[FleetDevice]) -> FleetDevice | None:
+        raise NotImplementedError
+
+
+class StaticPinning(DispatchPolicy):
+    """Tenant i is pinned to device ``i % len(fleet)`` forever.
+
+    The "one tenant, one device" deployment the paper's multi-tenant
+    section starts from; no feedback, so a tenant pinned to a slow or
+    congested placement stays there.
+    """
+
+    name = "static"
+
+    def __init__(self, mapping: dict[int, int] | None = None) -> None:
+        self.mapping = mapping or {}
+
+    def select(self, request: OffloadRequest,
+               devices: Sequence[FleetDevice]) -> FleetDevice | None:
+        index = self.mapping.get(request.tenant,
+                                 request.tenant % len(devices))
+        return devices[index % len(devices)]
+
+
+class RoundRobin(DispatchPolicy):
+    """Requests cycle through the fleet regardless of state."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def select(self, request: OffloadRequest,
+               devices: Sequence[FleetDevice]) -> FleetDevice | None:
+        device = devices[self._cursor % len(devices)]
+        self._cursor += 1
+        return device
+
+
+class ShortestQueue(DispatchPolicy):
+    """Join-the-shortest-queue on in-flight request count."""
+
+    name = "shortest-queue"
+
+    def select(self, request: OffloadRequest,
+               devices: Sequence[FleetDevice]) -> FleetDevice | None:
+        # min() keeps the first of tied devices, so ties break by
+        # fleet order deterministically.
+        return min(devices, key=lambda d: d.inflight)
+
+
+class CostModelPolicy(DispatchPolicy):
+    """Minimize predicted response time per request.
+
+    Each candidate's estimate combines its calibrated phase budget for
+    *this* request's size and compressibility with its current engine
+    backlog (see :meth:`FleetDevice.estimate_response_ns`).  Devices at
+    their queue limit are excluded so backpressure turns into re-routing
+    instead of blocking.
+    """
+
+    name = "cost-model"
+
+    def select(self, request: OffloadRequest,
+               devices: Sequence[FleetDevice]) -> FleetDevice | None:
+        candidates = [d for d in devices if d.can_accept()]
+        if not candidates:
+            return None
+        return min(candidates,
+                   key=lambda d: d.estimate_response_ns(request))
+
+
+POLICIES = {
+    StaticPinning.name: StaticPinning,
+    RoundRobin.name: RoundRobin,
+    ShortestQueue.name: ShortestQueue,
+    CostModelPolicy.name: CostModelPolicy,
+}
+
+
+def make_policy(name: str) -> DispatchPolicy:
+    """Fresh policy instance by name (policies carry per-run state)."""
+    if name not in POLICIES:
+        raise ServiceError(
+            f"unknown dispatch policy {name!r}; known: {sorted(POLICIES)}"
+        )
+    return POLICIES[name]()

@@ -1,0 +1,90 @@
+"""Request and open-loop stream types for the offload service.
+
+The service layer works on *descriptors*, not payload bytes: a request
+carries its size and an expected achieved compression ratio (the two
+properties every device cost model keys on — Figures 8/9 for size,
+Figure 12 for compressibility).  The functional datapath has already
+been exercised during model calibration, so the DES loop stays fast
+enough to serve millions of simulated requests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ServiceError
+
+
+@dataclass
+class OffloadRequest:
+    """One compression offload request flowing through the service."""
+
+    tenant: int
+    nbytes: int
+    #: Expected achieved compression ratio (compressed/original); 1.0
+    #: means incompressible.  Drives the per-device degradation models.
+    ratio: float = 0.5
+    op: str = "compress"
+    #: Stamped by the service when the request is submitted.
+    arrival_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ServiceError(f"request size must be > 0, got {self.nbytes}")
+        if not 0.0 <= self.ratio <= 1.0:
+            raise ServiceError(f"ratio {self.ratio} outside [0, 1]")
+        if self.op not in ("compress", "decompress"):
+            raise ServiceError(f"unknown op {self.op!r}")
+
+
+@dataclass
+class OpenLoopStream:
+    """Open-loop (arrival-rate driven) request stream specification.
+
+    Arrivals are Poisson at the rate implied by ``offered_gbps`` over
+    the mean request size; sizes, tenants and compressibility are drawn
+    independently per request.  Everything is seeded — two streams with
+    the same spec produce identical request sequences.
+    """
+
+    offered_gbps: float
+    duration_ns: float
+    tenants: int = 4
+    request_sizes: tuple[int, ...] = (16384, 65536, 131072)
+    ratio_range: tuple[float, float] = (0.30, 1.0)
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.offered_gbps <= 0:
+            raise ServiceError(f"offered load must be > 0, "
+                               f"got {self.offered_gbps}")
+        if self.duration_ns <= 0:
+            raise ServiceError("stream duration must be > 0")
+        if self.tenants < 1:
+            raise ServiceError("need at least one tenant")
+        if not self.request_sizes:
+            raise ServiceError("need at least one request size")
+
+    @property
+    def mean_request_bytes(self) -> float:
+        return sum(self.request_sizes) / len(self.request_sizes)
+
+    @property
+    def mean_interarrival_ns(self) -> float:
+        """Gap giving ``offered_gbps`` (bytes/ns) at the mean size."""
+        return self.mean_request_bytes / self.offered_gbps
+
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+    def next_gap_ns(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean_interarrival_ns)
+
+    def make_request(self, rng: random.Random) -> OffloadRequest:
+        low, high = self.ratio_range
+        return OffloadRequest(
+            tenant=rng.randrange(self.tenants),
+            nbytes=rng.choice(self.request_sizes),
+            ratio=rng.uniform(low, high),
+        )

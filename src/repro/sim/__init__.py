@@ -2,6 +2,7 @@
 
 from repro.sim.engine import Event, Process, Resource, Simulator, Store
 from repro.sim.stats import (
+    KeyedLatencyRecorder,
     LatencyRecorder,
     ThroughputTracker,
     TimeSeries,
@@ -12,6 +13,7 @@ from repro.sim.stats import (
 
 __all__ = [
     "Event",
+    "KeyedLatencyRecorder",
     "LatencyRecorder",
     "Process",
     "Resource",

@@ -69,6 +69,86 @@ class LatencyRecorder:
     def percentile_us(self, fraction: float) -> float:
         return percentile(self.samples, fraction) / 1000.0
 
+    def p50_us(self) -> float:
+        return self.percentile_us(0.50)
+
+    def p95_us(self) -> float:
+        return self.percentile_us(0.95)
+
+    def p99_us(self) -> float:
+        return self.percentile_us(0.99)
+
+    def summary_us(self) -> dict[str, float]:
+        """The percentile set every service/experiment table reports."""
+        if not self.samples:
+            return {"count": 0, "mean_us": 0.0, "p50_us": 0.0,
+                    "p95_us": 0.0, "p99_us": 0.0}
+        return {
+            "count": self.count,
+            "mean_us": self.mean_us(),
+            "p50_us": self.p50_us(),
+            "p95_us": self.p95_us(),
+            "p99_us": self.p99_us(),
+        }
+
+
+@dataclass
+class KeyedLatencyRecorder:
+    """Latency samples partitioned by a key, e.g. ``(tenant, placement)``.
+
+    The offload service uses this for the per-tenant/per-placement
+    breakdown mirroring Figure 20's per-VM traces: one recorder per key,
+    summarized into p50/p95/p99 rows.
+    """
+
+    _recorders: dict[tuple, LatencyRecorder] = field(default_factory=dict)
+
+    @staticmethod
+    def _normalize(key) -> tuple:
+        return key if isinstance(key, tuple) else (key,)
+
+    def record(self, key, latency_ns: float) -> None:
+        self.recorder(key).record(latency_ns)
+
+    def recorder(self, key) -> LatencyRecorder:
+        """The (created-on-demand) recorder for ``key``."""
+        return self._recorders.setdefault(self._normalize(key),
+                                          LatencyRecorder())
+
+    @staticmethod
+    def _sort_key(key: tuple) -> tuple:
+        # Numbers order numerically and before strings, so tenant ids
+        # don't come out 0, 1, 10, 11, 2 once they reach two digits.
+        return tuple((0, field, "") if isinstance(field, (int, float))
+                     else (1, 0, str(field)) for field in key)
+
+    def keys(self) -> list[tuple]:
+        return sorted(self._recorders, key=self._sort_key)
+
+    @property
+    def total_count(self) -> int:
+        return sum(r.count for r in self._recorders.values())
+
+    def summary_us(self, key) -> dict[str, float]:
+        """Summary for ``key``; absent keys read as empty, not created."""
+        recorder = self._recorders.get(self._normalize(key))
+        if recorder is None:
+            return LatencyRecorder().summary_us()
+        return recorder.summary_us()
+
+    def breakdown(self, key_names: tuple[str, ...]) -> list[dict]:
+        """One row per key: named key fields plus the percentile set."""
+        rows = []
+        for key in self.keys():
+            if len(key) != len(key_names):
+                raise ValueError(
+                    f"key {key} does not match names {key_names}"
+                )
+            row: dict = dict(zip(key_names, key))
+            row.update(self._recorders[key].summary_us())
+            rows.append(row)
+        return rows
+
 
 @dataclass
 class ThroughputTracker:

@@ -45,8 +45,15 @@ class ZipfianGenerator:
         self._zeta = self._compute_zeta(item_count, theta)
         self._zeta2 = self._compute_zeta(2, theta)
         self._alpha = 1.0 / (1.0 - theta)
-        self._eta = ((1.0 - (2.0 / item_count) ** (1.0 - theta))
-                     / (1.0 - self._zeta2 / self._zeta))
+        # For item_count <= 2 zeta(n) == zeta(2), making eta 0/0; the
+        # eta branch of next() is unreachable there (the first two
+        # cutoffs cover the whole unit interval), so any value works.
+        denominator = 1.0 - self._zeta2 / self._zeta
+        if denominator == 0.0:
+            self._eta = 0.0
+        else:
+            self._eta = ((1.0 - (2.0 / item_count) ** (1.0 - theta))
+                         / denominator)
 
     @staticmethod
     def _compute_zeta(n: int, theta: float) -> float:

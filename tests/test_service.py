@@ -1,0 +1,380 @@
+"""Offload-service tests: policies, batching, backpressure, admission.
+
+All timing comes from synthetic :class:`DeviceCostModel` instances on
+stub devices, so every scenario is deterministic and wall-clock free;
+one integration test calibrates the real mixed fleet.
+"""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.hw.engine import CdpuDevice, Placement
+from repro.service import (
+    AdmissionController,
+    AdmissionDecision,
+    Batcher,
+    DeviceCostModel,
+    FleetDevice,
+    OffloadRequest,
+    OffloadService,
+    OpenLoopStream,
+    RatioAnchor,
+    calibrated,
+    default_fleet,
+    make_policy,
+    run_offload_service,
+)
+from repro.sim.engine import Simulator
+
+
+class StubDevice(CdpuDevice):
+    """Placement/engine shell; timing comes from a synthetic model."""
+
+    def __init__(self, name="stub", placement=Placement.PERIPHERAL,
+                 engines=1, queue_depth=1024):
+        self.name = name
+        self.placement = placement
+        self.engine_count = engines
+        self.queue_depth = queue_depth
+
+
+def flat_model(engine_per_byte_ns=0.01, submit_ns=0.0, pre_ns=0.0,
+               post_ns=0.0):
+    """Cost model with no size/ratio structure beyond a linear engine."""
+    return DeviceCostModel(
+        anchors=[RatioAnchor(ratio=1.0, overhead_ns=0.0,
+                             per_byte_ns=engine_per_byte_ns)],
+        submit_ns=submit_ns,
+        pre_overhead_ns=pre_ns,
+        post_overhead_ns=post_ns,
+    )
+
+
+def make_fleet(sim, count=2, per_byte=(0.01, 0.1), **kwargs):
+    return [
+        FleetDevice(sim, StubDevice(name=f"dev{i}"),
+                    flat_model(engine_per_byte_ns=per_byte[i]), **kwargs)
+        for i in range(count)
+    ]
+
+
+def request(tenant=0, nbytes=1000, ratio=1.0):
+    return OffloadRequest(tenant=tenant, nbytes=nbytes, ratio=ratio)
+
+
+class TestCostModel:
+    def test_linear_engine_prediction(self):
+        model = flat_model(engine_per_byte_ns=0.5, submit_ns=10.0,
+                           pre_ns=5.0, post_ns=3.0)
+        cost = model.predict(100, ratio=1.0)
+        assert cost.engine_ns == pytest.approx(50.0)
+        assert cost.total_ns == pytest.approx(68.0)
+
+    def test_ratio_interpolation_and_clamping(self):
+        model = DeviceCostModel(anchors=[
+            RatioAnchor(ratio=0.4, overhead_ns=0.0, per_byte_ns=1.0),
+            RatioAnchor(ratio=1.0, overhead_ns=0.0, per_byte_ns=3.0),
+        ])
+        assert model.predict(100, 0.4).engine_ns == pytest.approx(100.0)
+        assert model.predict(100, 0.7).engine_ns == pytest.approx(200.0)
+        assert model.predict(100, 1.0).engine_ns == pytest.approx(300.0)
+        # Outside the anchor span clamps to the nearest anchor.
+        assert model.predict(100, 0.0).engine_ns == pytest.approx(100.0)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ServiceError):
+            DeviceCostModel(anchors=[])
+        with pytest.raises(ServiceError):
+            flat_model().predict(0)
+
+    def test_calibrate_real_device_orders_by_size(self):
+        from repro.hw.qat import Qat4xxx
+        model = DeviceCostModel.calibrate(Qat4xxx())
+        small = model.predict(4096, 0.5)
+        large = model.predict(65536, 0.5)
+        assert large.engine_ns > small.engine_ns
+        assert model.predict(4096, 1.0).engine_ns > small.engine_ns
+
+
+class TestPolicies:
+    def test_static_pinning_maps_tenant_to_device(self):
+        sim = Simulator()
+        fleet = make_fleet(sim)
+        policy = make_policy("static")
+        assert policy.select(request(tenant=0), fleet) is fleet[0]
+        assert policy.select(request(tenant=1), fleet) is fleet[1]
+        assert policy.select(request(tenant=2), fleet) is fleet[0]
+
+    def test_round_robin_cycles(self):
+        sim = Simulator()
+        fleet = make_fleet(sim)
+        policy = make_policy("round-robin")
+        picks = [policy.select(request(), fleet) for _ in range(4)]
+        assert picks == [fleet[0], fleet[1], fleet[0], fleet[1]]
+
+    def test_shortest_queue_prefers_idle_device(self):
+        sim = Simulator()
+        fleet = make_fleet(sim)
+        fleet[0].enqueue(request())
+        fleet[0].enqueue(request())
+        policy = make_policy("shortest-queue")
+        assert policy.select(request(), fleet) is fleet[1]
+
+    def test_cost_model_prefers_fast_device(self):
+        sim = Simulator()
+        fleet = make_fleet(sim, per_byte=(0.01, 0.1))
+        policy = make_policy("cost-model")
+        assert policy.select(request(), fleet) is fleet[0]
+
+    def test_cost_model_reroutes_under_backlog(self):
+        sim = Simulator()
+        fleet = make_fleet(sim, per_byte=(0.01, 0.1))
+        fleet[0].backlog_ns = 1e9  # fast device deeply backlogged
+        policy = make_policy("cost-model")
+        assert policy.select(request(), fleet) is fleet[1]
+
+    def test_cost_model_declines_when_fleet_full(self):
+        sim = Simulator()
+        fleet = make_fleet(sim, queue_limit=1)
+        for device in fleet:
+            device.enqueue(request())
+        assert make_policy("cost-model").select(request(), fleet) is None
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ServiceError):
+            make_policy("coin-flip")
+
+
+class TestBatching:
+    def test_flush_on_size(self):
+        sim = Simulator()
+        flushed = []
+        batcher = Batcher(sim, batch_size=4, timeout_ns=1e6,
+                          flush=flushed.append)
+        for i in range(4):
+            batcher.add(i)
+        assert flushed == [[0, 1, 2, 3]]  # no simulation time needed
+        assert batcher.pending == 0
+
+    def test_flush_on_timeout(self):
+        sim = Simulator()
+        flushed = []
+        batcher = Batcher(sim, batch_size=8, timeout_ns=1000.0,
+                          flush=lambda b: flushed.append((sim.now, b)))
+        batcher.add("a")
+        batcher.add("b")
+        sim.run()
+        assert flushed == [(1000.0, ["a", "b"])]
+
+    def test_size_flush_voids_pending_timer(self):
+        sim = Simulator()
+        flushed = []
+        batcher = Batcher(sim, batch_size=2, timeout_ns=1000.0,
+                          flush=flushed.append)
+        batcher.add("a")
+        batcher.add("b")   # size flush at t=0
+        batcher.add("c")   # second batch, fresh timer
+        sim.run()
+        assert flushed == [["a", "b"], ["c"]]
+
+    def test_batch_amortizes_doorbell(self):
+        """One doorbell per batch: 4 batched requests finish sooner
+        than 4 singleton submissions of the same work."""
+        def total_time(batch_size):
+            sim = Simulator()
+            device = FleetDevice(
+                sim, StubDevice(engines=4),
+                flat_model(engine_per_byte_ns=0.01, submit_ns=500.0),
+                batch_size=batch_size, batch_timeout_ns=None)
+            for _ in range(4):
+                device.enqueue(request())
+            device.batcher.flush_now()
+            sim.run()
+            assert device.completed == 4
+            assert device.batches_submitted == (1 if batch_size >= 4 else 4)
+            return sim.now
+
+        assert total_time(batch_size=4) < total_time(batch_size=1)
+
+    def test_invalid_parameters_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ServiceError):
+            Batcher(sim, batch_size=0, timeout_ns=None, flush=lambda b: b)
+        with pytest.raises(ServiceError):
+            Batcher(sim, batch_size=1, timeout_ns=-1.0, flush=lambda b: b)
+
+
+class TestBackpressure:
+    def test_queue_limit_enforced_on_direct_enqueue(self):
+        sim = Simulator()
+        device = FleetDevice(sim, StubDevice(), flat_model(), queue_limit=2)
+        device.enqueue(request())
+        device.enqueue(request())
+        assert not device.can_accept()
+        with pytest.raises(ServiceError):
+            device.enqueue(request())
+
+    def test_overload_sheds_instead_of_blocking(self):
+        sim = Simulator()
+        fleet = [FleetDevice(sim, StubDevice(),
+                             flat_model(engine_per_byte_ns=1.0),
+                             queue_limit=2)]
+        service = OffloadService(sim, fleet, policy="static")
+        outcomes = [service.submit(request()) for _ in range(5)]
+        assert outcomes == ["admitted", "admitted", "shed", "shed", "shed"]
+        assert service.metrics.shed == 3
+        sim.run()
+        assert service.metrics.completed == 2
+        assert fleet[0].peak_inflight == 2
+
+    def test_full_queue_spills_to_cpu_device(self):
+        sim = Simulator()
+        fleet = [FleetDevice(sim, StubDevice(), flat_model(), queue_limit=1)]
+        spill = FleetDevice(
+            sim, StubDevice(name="cpu", placement=Placement.CPU_SOFTWARE),
+            flat_model(engine_per_byte_ns=0.5), queue_limit=8)
+        service = OffloadService(sim, fleet, policy="static",
+                                 spill_device=spill)
+        outcomes = [service.submit(request()) for _ in range(3)]
+        assert outcomes == ["admitted", "spilled", "spilled"]
+        sim.run()
+        assert service.metrics.completed == 3
+        assert spill.completed == 2
+        placements = {row["placement"]
+                      for row in service.report().breakdown}
+        assert "cpu" in placements
+
+
+class TestAdmission:
+    def test_thresholds_validate(self):
+        with pytest.raises(ServiceError):
+            AdmissionController(spill_threshold=0.9, shed_threshold=0.5)
+
+    def test_decision_bands(self):
+        controller = AdmissionController(spill_threshold=0.5,
+                                         shed_threshold=0.9)
+        assert controller.decide(0.1) is AdmissionDecision.ADMIT
+        assert controller.decide(0.5) is AdmissionDecision.SPILL
+        assert controller.decide(0.95) is AdmissionDecision.SHED
+
+    def test_spill_threshold_redirects_to_cpu(self):
+        sim = Simulator()
+        fleet = [FleetDevice(sim, StubDevice(), flat_model(), queue_limit=8)]
+        spill = FleetDevice(
+            sim, StubDevice(name="cpu", placement=Placement.CPU_SOFTWARE),
+            flat_model(), queue_limit=64)
+        service = OffloadService(
+            sim, fleet, policy="cost-model",
+            admission=AdmissionController(spill_threshold=0.0,
+                                          shed_threshold=2.0),
+            spill_device=spill)
+        for _ in range(5):
+            assert service.submit(request()) == "spilled"
+        sim.run()
+        assert service.metrics.spilled == 5
+        assert spill.completed == 5
+        assert fleet[0].completed == 0
+
+    def test_shed_threshold_drops_requests(self):
+        sim = Simulator()
+        fleet = [FleetDevice(sim, StubDevice(), flat_model(), queue_limit=8)]
+        service = OffloadService(
+            sim, fleet, policy="cost-model",
+            admission=AdmissionController(spill_threshold=0.0,
+                                          shed_threshold=0.0))
+        assert service.submit(request()) == "shed"
+        assert service.metrics.shed == 1
+        assert service.metrics.offered == 1
+
+
+class TestOpenLoopService:
+    def _stub_pairs(self):
+        return [
+            (StubDevice(name="fast", placement=Placement.IN_STORAGE,
+                        engines=2), flat_model(engine_per_byte_ns=0.01)),
+            (StubDevice(name="slow", placement=Placement.PERIPHERAL),
+             flat_model(engine_per_byte_ns=0.2)),
+        ]
+
+    def _stream(self, seed=42):
+        return OpenLoopStream(offered_gbps=2.0, duration_ns=1e6,
+                              tenants=4, request_sizes=(4096, 16384),
+                              seed=seed)
+
+    def test_deterministic_given_seed(self):
+        first = run_offload_service(self._stream(), policy="cost-model",
+                                    fleet=self._stub_pairs())
+        second = run_offload_service(self._stream(), policy="cost-model",
+                                     fleet=self._stub_pairs())
+        assert first.offered == second.offered
+        assert first.completed == second.completed
+        assert first.p99_us == second.p99_us
+        assert first.completed_bytes == second.completed_bytes
+
+    def test_different_seed_changes_arrivals(self):
+        first = run_offload_service(self._stream(seed=1),
+                                    fleet=self._stub_pairs())
+        second = run_offload_service(self._stream(seed=2),
+                                     fleet=self._stub_pairs())
+        assert (first.offered, first.completed_bytes) != \
+               (second.offered, second.completed_bytes)
+
+    def test_breakdown_covers_tenants_and_placements(self):
+        report = run_offload_service(self._stream(), policy="round-robin",
+                                     fleet=self._stub_pairs())
+        tenants = {row["tenant"] for row in report.breakdown}
+        placements = {row["placement"] for row in report.breakdown}
+        assert tenants == {0, 1, 2, 3}
+        assert placements == {"in-storage", "peripheral"}
+        assert sum(row["count"] for row in report.breakdown) \
+            == report.completed
+
+    def test_goodput_excludes_post_window_drain(self):
+        """Backlog completing after arrivals stop must not inflate
+        the windowed goodput figure."""
+        report = run_offload_service(self._stream(), policy="round-robin",
+                                     fleet=self._stub_pairs())
+        assert report.window_bytes <= report.completed_bytes
+        assert report.completed_gbps <= \
+            report.completed_bytes / report.duration_ns
+
+    def test_fair_share_arbitration_supported(self):
+        report = run_offload_service(self._stream(), policy="round-robin",
+                                     fleet=self._stub_pairs(),
+                                     fair_share_tenants=4)
+        assert report.completed == report.offered
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ServiceError):
+            OffloadService(Simulator(), [], policy="static")
+
+
+class TestMixedFleetIntegration:
+    """Calibrated real devices, small stream — the acceptance check."""
+
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        return calibrated(default_fleet())
+
+    def test_cost_model_beats_static_at_overload(self, fleet):
+        stream = OpenLoopStream(offered_gbps=48.0, duration_ns=1.5e6,
+                                tenants=4, seed=5)
+        reports = {
+            policy: run_offload_service(stream, policy=policy, fleet=fleet)
+            for policy in ("static", "round-robin", "cost-model")
+        }
+        best_static = max(reports["static"].completed_gbps,
+                          reports["round-robin"].completed_gbps)
+        assert reports["cost-model"].completed_gbps >= best_static
+
+    def test_all_placements_used_below_saturation(self, fleet):
+        # 36 GB/s is past the ASIC tiers' combined capacity, so the
+        # cost model must fold the CPU tier in — but still below the
+        # whole fleet's, so everything offered completes.
+        stream = OpenLoopStream(offered_gbps=36.0, duration_ns=1.5e6,
+                                tenants=4, seed=5)
+        report = run_offload_service(stream, policy="cost-model",
+                                     fleet=fleet)
+        assert report.completed == report.offered
+        used = {row["placement"] for row in report.breakdown}
+        assert used == {"cpu", "peripheral", "on-chip", "in-storage"}

@@ -5,6 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.errors import SimulationError
 from repro.sim import (
+    KeyedLatencyRecorder,
     LatencyRecorder,
     Resource,
     Simulator,
@@ -216,6 +217,63 @@ class TestStats:
         assert recorder.count == 3
         with pytest.raises(ValueError):
             recorder.record(-1.0)
+
+    def test_latency_recorder_percentile_shortcuts(self):
+        recorder = LatencyRecorder()
+        for v in range(1, 101):
+            recorder.record(v * 1000.0)
+        assert recorder.p50_us() == pytest.approx(50.5)
+        assert recorder.p95_us() == pytest.approx(95.05)
+        assert recorder.p99_us() == pytest.approx(99.01)
+        summary = recorder.summary_us()
+        assert summary["count"] == 100
+        assert summary["p50_us"] == recorder.p50_us()
+        assert summary["p99_us"] == recorder.p99_us()
+
+    def test_latency_summary_of_empty_recorder(self):
+        summary = LatencyRecorder().summary_us()
+        assert summary == {"count": 0, "mean_us": 0.0, "p50_us": 0.0,
+                           "p95_us": 0.0, "p99_us": 0.0}
+
+    def test_keyed_recorder_partitions_samples(self):
+        keyed = KeyedLatencyRecorder()
+        for _ in range(10):
+            keyed.record((0, "cpu"), 1000.0)
+            keyed.record((1, "in-storage"), 5000.0)
+        assert keyed.total_count == 20
+        assert keyed.keys() == [(0, "cpu"), (1, "in-storage")]
+        assert keyed.summary_us((0, "cpu"))["p99_us"] == pytest.approx(1.0)
+        assert keyed.summary_us((1, "in-storage"))["p50_us"] == \
+            pytest.approx(5.0)
+
+    def test_keyed_recorder_breakdown_rows(self):
+        keyed = KeyedLatencyRecorder()
+        keyed.record((2, "on-chip"), 2000.0)
+        keyed.record((1, "cpu"), 8000.0)
+        rows = keyed.breakdown(("tenant", "placement"))
+        assert [(r["tenant"], r["placement"]) for r in rows] == \
+            [(1, "cpu"), (2, "on-chip")]
+        assert rows[0]["count"] == 1
+        assert rows[1]["p50_us"] == pytest.approx(2.0)
+
+    def test_keyed_recorder_scalar_keys_and_name_mismatch(self):
+        keyed = KeyedLatencyRecorder()
+        keyed.record("cpu", 3000.0)
+        assert keyed.summary_us("cpu")["count"] == 1
+        with pytest.raises(ValueError):
+            keyed.breakdown(("tenant", "placement"))
+
+    def test_keyed_recorder_reads_do_not_create_keys(self):
+        keyed = KeyedLatencyRecorder()
+        keyed.record((0, "cpu"), 1000.0)
+        assert keyed.summary_us((9, "cpu"))["count"] == 0
+        assert keyed.keys() == [(0, "cpu")]
+
+    def test_keyed_recorder_numeric_key_ordering(self):
+        keyed = KeyedLatencyRecorder()
+        for tenant in (10, 2, 0, 11, 1):
+            keyed.record((tenant, "cpu"), 1000.0)
+        assert [k[0] for k in keyed.keys()] == [0, 1, 2, 10, 11]
 
     def test_throughput_tracker(self):
         tracker = ThroughputTracker()
