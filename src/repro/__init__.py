@@ -14,36 +14,47 @@ The package provides:
   filesystems used for end-to-end evaluation;
 * :mod:`repro.service` -- the compression offload service: placement-
   aware scheduling, batching and admission control over a CDPU fleet;
+* :mod:`repro.store` -- the compressed block store tier: GET/PUT
+  serving with a decompressed-block cache and packed block map;
 * :mod:`repro.experiments` -- one module per paper figure/table.
 """
 
-#: Service-layer API re-exported at the top level, resolved lazily
+#: Serving-layer API re-exported at the top level, resolved lazily
 #: (PEP 562) so ``import repro`` stays free of the hw/codec import
-#: chain until the service is actually used.
-_SERVICE_EXPORTS = (
-    "AdmissionController",
-    "DeviceCostModel",
-    "FleetDevice",
-    "OffloadRequest",
-    "OffloadService",
-    "OpenLoopStream",
-    "ServiceReport",
-    "default_fleet",
-    "make_policy",
-    "run_offload_service",
-)
+#: chain until a serving layer is actually used.
+_LAZY_EXPORTS = {
+    "AdmissionController": "repro.service",
+    "DeviceCostModel": "repro.service",
+    "FleetDevice": "repro.service",
+    "OffloadRequest": "repro.service",
+    "OffloadService": "repro.service",
+    "OpenLoopStream": "repro.service",
+    "ServiceReport": "repro.service",
+    "calibrated_ops": "repro.service",
+    "default_fleet": "repro.service",
+    "make_policy": "repro.service",
+    "run_offload_service": "repro.service",
+    "BlockCache": "repro.store",
+    "BlockMap": "repro.store",
+    "CompressedBlockStore": "repro.store",
+    "StoreReport": "repro.store",
+    "run_block_store": "repro.store",
+    "MixedStream": "repro.workloads",
+}
 
-__all__ = list(_SERVICE_EXPORTS)
+__all__ = sorted(_LAZY_EXPORTS)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def __getattr__(name: str):
-    if name in _SERVICE_EXPORTS:
-        from repro import service
-        return getattr(service, name)
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is not None:
+        import importlib
+        module = importlib.import_module(module_name)
+        return getattr(module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def __dir__() -> list[str]:
-    return sorted(set(globals()) | set(_SERVICE_EXPORTS))
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

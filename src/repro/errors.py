@@ -41,3 +41,7 @@ class WorkloadError(ReproError):
 
 class ServiceError(ReproError):
     """Raised on offload-service misuse (bad policy, queue overrun)."""
+
+
+class StoreError(ReproError):
+    """Raised on block-store misuse (unmapped block, oversized write)."""

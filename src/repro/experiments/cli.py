@@ -3,10 +3,13 @@
 Runs the requested experiments (default: all) and prints their tables.
 ``--full`` switches off quick mode for paper-scale workloads.
 
-``repro-experiment service [options]`` is a dedicated subcommand for
-the offload-service scaling sweep with tunable load points, policies,
-fleet mixes and duration (the registered ``service_scaling`` id runs
-the same sweep at its default settings).
+Two dedicated subcommands expose the serving-layer sweeps with tunable
+parameters (their registered ids run the same sweeps at defaults):
+
+* ``repro-experiment service [options]`` — the compress-offload
+  scaling sweep (offered load x fleet mix x dispatch policy);
+* ``repro-experiment store [options]`` — the compressed block-store
+  sweep (read fraction x cache size x dispatch policy).
 """
 
 from __future__ import annotations
@@ -14,7 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, StoreError, WorkloadError
 from repro.experiments import REGISTRY, run_experiment
 
 
@@ -64,17 +67,76 @@ def service_main(argv: list[str]) -> int:
     return 0
 
 
+def store_main(argv: list[str]) -> int:
+    """The ``store`` subcommand: block-store read/write/cache sweep."""
+    from repro.experiments.store_scaling import DEFAULT_POLICIES, run_sweep
+    from repro.service.policy import POLICIES
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment store",
+        description="Sweep the compressed block store "
+                    "(read fraction x cache size x dispatch policy).",
+    )
+    parser.add_argument("--read-fraction", type=float, nargs="+",
+                        default=[0.5, 0.9],
+                        help="fraction of operations that are reads")
+    parser.add_argument("--cache-blocks", type=int, nargs="+",
+                        default=[0, 64, 256],
+                        help="decompressed-block cache sizes to sweep")
+    parser.add_argument("--policy", nargs="+",
+                        default=list(DEFAULT_POLICIES),
+                        choices=sorted(POLICIES),
+                        help="dispatch policies to compare")
+    parser.add_argument("--load-gbps", type=float, default=36.0,
+                        help="offered load in GB/s")
+    parser.add_argument("--duration-ms", type=float, default=4.0,
+                        help="virtual stream duration per run")
+    parser.add_argument("--blocks", type=int, default=512,
+                        help="logical block space size")
+    parser.add_argument("--block-kib", type=int, default=64,
+                        help="logical block size in KiB")
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--zipf-theta", type=float, default=0.99,
+                        help="key-popularity skew (YCSB default 0.99)")
+    parser.add_argument("--seed", type=int, default=31)
+    parser.add_argument("--no-spill", action="store_true",
+                        help="disable the CPU-software spill device")
+    args = parser.parse_args(argv)
+    try:
+        result = run_sweep(
+            read_fractions=tuple(args.read_fraction),
+            cache_blocks=tuple(args.cache_blocks),
+            policies=tuple(args.policy),
+            offered_gbps=args.load_gbps,
+            duration_ns=args.duration_ms * 1e6,
+            blocks=args.blocks,
+            block_bytes=args.block_kib * 1024,
+            tenants=args.tenants,
+            zipf_theta=args.zipf_theta,
+            seed=args.seed,
+            spill=not args.no_spill,
+        )
+    except (ServiceError, WorkloadError, StoreError) as error:
+        print(f"repro-experiment store: error: {error}", file=sys.stderr)
+        return 2
+    print(result.table())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "service":
         return service_main(argv[1:])
+    if argv and argv[0] == "store":
+        return store_main(argv[1:])
     parser = argparse.ArgumentParser(
         description="Reproduce figures/tables from the ASIC-CDPU paper."
     )
     parser.add_argument("names", nargs="*",
                         help="experiment ids (default: all), or the "
-                             "'service' subcommand (see "
-                             "'repro-experiment service --help')")
+                             "'service'/'store' subcommands (see "
+                             "'repro-experiment service --help' and "
+                             "'repro-experiment store --help')")
     parser.add_argument("--full", action="store_true",
                         help="paper-scale workloads instead of quick mode")
     parser.add_argument("--list", action="store_true",
@@ -85,13 +147,15 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
     names = args.names or sorted(REGISTRY)
-    if "service" in names:
-        # Flags placed before the subcommand land here; point at the
-        # required ordering instead of "unknown experiment 'service'".
-        print("'service' is a subcommand and must come first: "
-              "repro-experiment service [options] "
-              "(see 'repro-experiment service --help')", file=sys.stderr)
-        return 2
+    for subcommand in ("service", "store"):
+        if subcommand in names:
+            # Flags placed before the subcommand land here; point at the
+            # required ordering instead of "unknown experiment '...'".
+            print(f"'{subcommand}' is a subcommand and must come first: "
+                  f"repro-experiment {subcommand} [options] "
+                  f"(see 'repro-experiment {subcommand} --help')",
+                  file=sys.stderr)
+            return 2
     for name in names:
         try:
             result = run_experiment(name, quick=not args.full)

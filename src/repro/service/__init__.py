@@ -13,11 +13,13 @@ from repro.service.model import (
     ModeledCost,
     RatioAnchor,
     calibrated,
+    calibrated_ops,
 )
 from repro.service.offload import (
     OffloadService,
     ServiceMetrics,
     ServiceReport,
+    build_fleet,
     default_fleet,
     run_offload_service,
 )
@@ -51,7 +53,9 @@ __all__ = [
     "ServiceReport",
     "ShortestQueue",
     "StaticPinning",
+    "build_fleet",
     "calibrated",
+    "calibrated_ops",
     "default_fleet",
     "make_policy",
     "run_offload_service",

@@ -7,12 +7,18 @@ device — trading the paper's hardware-offload latency win for
 availability, exactly the fallback a production deployment keeps when
 accelerators brown out.  Past ``shed_threshold`` requests are dropped
 outright, bounding queueing delay for everything already admitted.
+
+Utilization is smoothed with an exponentially-weighted moving average
+before it is compared against the thresholds, so admission reacts to
+sustained trends rather than the instantaneous fleet fill (a single
+batched doorbell can spike the raw signal past a threshold for one
+arrival).  ``ewma_alpha=1.0`` disables smoothing.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ServiceError
 
@@ -25,10 +31,19 @@ class AdmissionDecision(enum.Enum):
 
 @dataclass
 class AdmissionController:
-    """Threshold-based admission over fleet utilization in [0, 1]."""
+    """Threshold-based admission over smoothed fleet utilization.
+
+    ``ewma_alpha`` is the weight of each new utilization sample:
+    ``smoothed = alpha * sample + (1 - alpha) * smoothed``.  The first
+    sample primes the average so a controller that starts under load
+    does not ramp up from zero.
+    """
 
     spill_threshold: float = 0.70
     shed_threshold: float = 0.95
+    ewma_alpha: float = 1.0
+    smoothed: float = field(default=0.0, init=False, repr=False)
+    _primed: bool = field(default=False, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.spill_threshold <= self.shed_threshold:
@@ -36,10 +51,35 @@ class AdmissionController:
                 f"need 0 <= spill ({self.spill_threshold}) <= "
                 f"shed ({self.shed_threshold})"
             )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ServiceError(
+                f"ewma_alpha {self.ewma_alpha} outside (0, 1]"
+            )
+
+    def reset(self) -> None:
+        """Forget smoothed state so the next sample primes afresh.
+
+        Controllers are plain config plus EWMA state; sweeps reuse one
+        instance across runs, so each new service resets it rather
+        than inheriting the previous run's saturation level.
+        """
+        self.smoothed = 0.0
+        self._primed = False
+
+    def observe(self, utilization: float) -> float:
+        """Fold one utilization sample into the EWMA and return it."""
+        if not self._primed:
+            self.smoothed = utilization
+            self._primed = True
+        else:
+            self.smoothed = (self.ewma_alpha * utilization
+                             + (1.0 - self.ewma_alpha) * self.smoothed)
+        return self.smoothed
 
     def decide(self, utilization: float) -> AdmissionDecision:
-        if utilization >= self.shed_threshold:
+        smoothed = self.observe(utilization)
+        if smoothed >= self.shed_threshold:
             return AdmissionDecision.SHED
-        if utilization >= self.spill_threshold:
+        if smoothed >= self.spill_threshold:
             return AdmissionDecision.SPILL
         return AdmissionDecision.ADMIT

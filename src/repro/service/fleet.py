@@ -86,14 +86,24 @@ class FleetDevice:
     """One device of the fleet, wrapped for service-level dispatch."""
 
     def __init__(self, sim: Simulator, device: CdpuDevice,
-                 model: DeviceCostModel | None = None, *,
+                 model: DeviceCostModel | dict[str, DeviceCostModel]
+                 | None = None, *,
                  queue_limit: int | None = None,
                  batch_size: int = 1,
                  batch_timeout_ns: float | None = None,
                  fair_share_tenants: int | None = None) -> None:
         self.sim = sim
         self.device = device
-        self.model = model or DeviceCostModel.calibrate(device)
+        # Per-op cost models: a bare model is the compress model (the
+        # historical calling convention); a dict supplies one model per
+        # op so decompress requests are never priced off the compress
+        # calibration.  Missing ops calibrate lazily on first use.
+        if isinstance(model, dict):
+            self.models = dict(model)
+        elif model is not None:
+            self.models = {"compress": model}
+        else:
+            self.models = {"compress": DeviceCostModel.calibrate(device)}
         engines = max(device.engine_count, 1)
         if queue_limit is None:
             # Enough slack to keep every engine fed through transfer
@@ -135,6 +145,19 @@ class FleetDevice:
     def placement(self) -> Placement:
         return self.device.placement
 
+    @property
+    def model(self) -> DeviceCostModel:
+        """The compress-path model (historical single-op accessor)."""
+        return self.model_for("compress")
+
+    def model_for(self, op: str) -> DeviceCostModel:
+        """The cost model pricing ``op``, calibrating it on first use."""
+        model = self.models.get(op)
+        if model is None:
+            model = DeviceCostModel.calibrate(self.device, op=op)
+            self.models[op] = model
+        return model
+
     # -- dispatch interface ----------------------------------------------------
 
     def can_accept(self) -> bool:
@@ -144,7 +167,8 @@ class FleetDevice:
         cached = self._cost_cache
         if cached is not None and cached[0] is request:
             return cached[1]
-        cost = self.model.predict(request.nbytes, request.ratio)
+        cost = self.model_for(request.op).predict(request.nbytes,
+                                                  request.ratio)
         self._cost_cache = (request, cost)
         return cost
 

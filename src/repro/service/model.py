@@ -173,3 +173,20 @@ def calibrated(devices: list[CdpuDevice], op: str = "compress",
     """Pair each device with its calibrated cost model."""
     return [(device, DeviceCostModel.calibrate(device, op=op, **kwargs))
             for device in devices]
+
+
+def calibrated_ops(
+        devices: list[CdpuDevice],
+        ops: tuple[str, ...] = ("compress", "decompress"),
+        **kwargs) -> list[tuple[CdpuDevice, dict[str, DeviceCostModel]]]:
+    """Pair each device with per-op cost models for mixed-op serving.
+
+    The returned ``(device, {op: model})`` pairs plug straight into
+    :class:`~repro.service.fleet.FleetDevice` /
+    :func:`~repro.service.offload.run_offload_service`, so decompress
+    requests are priced by a decompress-calibrated model instead of
+    being silently costed as compress.
+    """
+    return [(device, {op: DeviceCostModel.calibrate(device, op=op, **kwargs)
+                      for op in ops})
+            for device in devices]

@@ -21,7 +21,7 @@ entirely on :class:`repro.sim.engine.Simulator`:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Generator, Sequence
+from typing import Any, Callable, Generator, Sequence
 
 from repro.errors import ServiceError
 from repro.hw.cpu import CpuSoftwareDevice
@@ -53,6 +53,10 @@ class ServiceMetrics:
     #: Keyed by (tenant, placement value) — the Figure 20 breakdown.
     by_tenant_placement: KeyedLatencyRecorder = field(
         default_factory=KeyedLatencyRecorder)
+    #: Keyed by (op, placement value) — where compress vs decompress
+    #: traffic actually landed (the read-path placement question).
+    by_op_placement: KeyedLatencyRecorder = field(
+        default_factory=KeyedLatencyRecorder)
 
 
 @dataclass
@@ -72,6 +76,8 @@ class ServiceReport:
     p95_us: float
     p99_us: float
     breakdown: list[dict] = field(default_factory=list)
+    #: One row per (op, placement): the decompress/compress split.
+    op_breakdown: list[dict] = field(default_factory=list)
     per_device: list[dict] = field(default_factory=list)
 
     @property
@@ -91,11 +97,22 @@ class ServiceReport:
             "policy": self.policy,
             "completed_gbps": self.completed_gbps,
             "p50_us": self.p50_us,
+            "p95_us": self.p95_us,
             "p99_us": self.p99_us,
             "completed": self.completed,
             "spilled": self.spilled,
             "shed": self.shed,
         }
+
+    def placement_shares(self, op: str) -> dict[str, float]:
+        """Fraction of completed ``op`` requests served per placement."""
+        counts = {row["placement"]: row["count"]
+                  for row in self.op_breakdown if row["op"] == op}
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        return {placement: count / total
+                for placement, count in counts.items()}
 
 
 class OffloadService:
@@ -113,6 +130,10 @@ class OffloadService:
         self.policy = (make_policy(policy) if isinstance(policy, str)
                        else policy)
         self.admission = admission
+        if admission is not None:
+            # Sweeps share one controller across runs; its EWMA state
+            # belongs to this run only.
+            admission.reset()
         self.spill_device = spill_device
         self.metrics = ServiceMetrics()
         #: Completions at or before this instant count toward goodput;
@@ -128,31 +149,55 @@ class OffloadService:
 
     # -- submission -----------------------------------------------------------
 
-    def submit(self, request: OffloadRequest) -> str:
-        """Route one request; returns 'admitted', 'spilled' or 'shed'."""
+    def submit(self, request: OffloadRequest,
+               on_complete: Callable[[OffloadRequest, FleetDevice,
+                                      ModeledCost], None] | None = None
+               ) -> str:
+        """Route one request; returns 'admitted', 'spilled' or 'shed'.
+
+        ``on_complete`` (if given) runs after the service's own
+        completion accounting — the hook upper layers like the block
+        store use to observe their requests finishing.
+        """
         request.arrival_ns = self.sim.now
         self.metrics.offered += 1
+        hook = self._completion_hook(on_complete)
         if self.admission is not None:
             decision = self.admission.decide(self.utilization())
             if decision is AdmissionDecision.SHED:
                 self.metrics.shed += 1
                 return "shed"
             if decision is AdmissionDecision.SPILL:
-                return self._spill_or_shed(request)
+                return self._spill_or_shed(request, hook)
         device = self.policy.select(request, self.devices)
         if device is None or not device.can_accept():
             # Backpressure: the chosen queue is full (or every queue is,
             # for the cost-model policy) — fall back rather than block
             # the open-loop arrival process.
-            return self._spill_or_shed(request)
-        device.enqueue(request, self._on_complete)
+            return self._spill_or_shed(request, hook)
+        device.enqueue(request, hook)
         return "admitted"
 
-    def _spill_or_shed(self, request: OffloadRequest) -> str:
+    def _completion_hook(self, extra: Callable[[OffloadRequest, FleetDevice,
+                                                ModeledCost], None] | None
+                         ) -> Callable[[OffloadRequest, FleetDevice,
+                                        ModeledCost], None]:
+        if extra is None:
+            return self._on_complete
+
+        def chained(request: OffloadRequest, device: FleetDevice,
+                    cost: ModeledCost) -> None:
+            self._on_complete(request, device, cost)
+            extra(request, device, cost)
+        return chained
+
+    def _spill_or_shed(self, request: OffloadRequest,
+                       on_complete: Callable[[OffloadRequest, FleetDevice,
+                                              ModeledCost], None]) -> str:
         spill = self.spill_device
         if spill is not None and spill.can_accept():
             self.metrics.spilled += 1
-            spill.enqueue(request, self._on_complete)
+            spill.enqueue(request, on_complete)
             return "spilled"
         self.metrics.shed += 1
         return "shed"
@@ -168,8 +213,22 @@ class OffloadService:
         self.metrics.overall.record(latency_ns)
         self.metrics.by_tenant_placement.record(
             (request.tenant, device.placement.value), latency_ns)
+        self.metrics.by_op_placement.record(
+            (request.op, device.placement.value), latency_ns)
 
     # -- open-loop driving ----------------------------------------------------
+
+    def flush(self) -> None:
+        """Flush every device's partially-filled batch immediately.
+
+        Called when an arrival stream ends: buffered submissions must
+        not wait on a batch timer that will never be joined by further
+        arrivals.
+        """
+        for device in self.devices:
+            device.batcher.flush_now()
+        if self.spill_device is not None:
+            self.spill_device.batcher.flush_now()
 
     def drive(self, stream: OpenLoopStream) -> Process:
         """Spawn the arrival process for ``stream`` on the simulator."""
@@ -182,12 +241,7 @@ class OffloadService:
                 if self.sim.now >= stream.duration_ns:
                     break
                 self.submit(stream.make_request(rng))
-            # Drain: partially-filled batches must not wait on a timer
-            # that will never be joined by further arrivals.
-            for device in self.devices:
-                device.batcher.flush_now()
-            if self.spill_device is not None:
-                self.spill_device.batcher.flush_now()
+            self.flush()
         return self.sim.spawn(arrivals())
 
     # -- reporting ------------------------------------------------------------
@@ -222,6 +276,8 @@ class OffloadService:
             p99_us=summary["p99_us"],
             breakdown=metrics.by_tenant_placement.breakdown(
                 ("tenant", "placement")),
+            op_breakdown=metrics.by_op_placement.breakdown(
+                ("op", "placement")),
             per_device=per_device,
         )
 
@@ -236,25 +292,29 @@ def default_fleet() -> list[CdpuDevice]:
     ]
 
 
-def run_offload_service(
-        stream: OpenLoopStream,
-        policy: DispatchPolicy | str = "cost-model",
-        fleet: Sequence[tuple[CdpuDevice, DeviceCostModel | None]
-                        | CdpuDevice] | None = None,
-        spill: tuple[CdpuDevice, DeviceCostModel | None]
-        | CdpuDevice | None = None,
-        admission: AdmissionController | None = None,
-        batch_size: int = 4,
-        batch_timeout_ns: float | None = 20_000.0,
-        queue_limit: int | None = None,
-        fair_share_tenants: int | None = None) -> ServiceReport:
-    """One-call service run: build the fleet, drive the stream, report.
+FleetSpec = Sequence[
+    tuple[CdpuDevice, DeviceCostModel | dict[str, DeviceCostModel] | None]
+    | CdpuDevice
+]
 
-    ``fleet``/``spill`` entries may be bare devices (calibrated here) or
-    ``(device, model)`` pairs so sweeps can calibrate once and reuse.
+
+def build_fleet(sim: Simulator,
+                fleet: FleetSpec | None = None,
+                spill: tuple[CdpuDevice,
+                             DeviceCostModel | dict[str, DeviceCostModel]
+                             | None] | CdpuDevice | None = None,
+                batch_size: int = 4,
+                batch_timeout_ns: float | None = 20_000.0,
+                queue_limit: int | None = None,
+                fair_share_tenants: int | None = None
+                ) -> tuple[list[FleetDevice], FleetDevice | None]:
+    """Wrap fleet/spill entries as :class:`FleetDevice` members.
+
+    Entries may be bare devices (calibrated on construction), a
+    ``(device, model)`` pair, or ``(device, {op: model})`` pairs from
+    :func:`~repro.service.model.calibrated_ops` for mixed-op serving;
+    sweeps calibrate once and reuse the pairs across runs.
     """
-    sim = Simulator()
-
     def as_fleet_device(entry) -> FleetDevice:
         device, model = (entry if isinstance(entry, tuple)
                          else (entry, None))
@@ -269,6 +329,35 @@ def run_offload_service(
     members = [as_fleet_device(entry)
                for entry in (fleet if fleet is not None else default_fleet())]
     spill_member = as_fleet_device(spill) if spill is not None else None
+    return members, spill_member
+
+
+def run_offload_service(
+        stream: OpenLoopStream,
+        policy: DispatchPolicy | str = "cost-model",
+        fleet: FleetSpec | None = None,
+        spill: tuple[CdpuDevice,
+                     DeviceCostModel | dict[str, DeviceCostModel] | None]
+        | CdpuDevice | None = None,
+        admission: AdmissionController | None = None,
+        batch_size: int = 4,
+        batch_timeout_ns: float | None = 20_000.0,
+        queue_limit: int | None = None,
+        fair_share_tenants: int | None = None) -> ServiceReport:
+    """One-call service run: build the fleet, drive the stream, report.
+
+    ``fleet``/``spill`` entries may be bare devices (calibrated here),
+    ``(device, model)`` pairs, or ``(device, {op: model})`` pairs so
+    sweeps can calibrate once and reuse across ops.
+    """
+    sim = Simulator()
+    members, spill_member = build_fleet(
+        sim, fleet, spill,
+        batch_size=batch_size,
+        batch_timeout_ns=batch_timeout_ns,
+        queue_limit=queue_limit,
+        fair_share_tenants=fair_share_tenants,
+    )
     service = OffloadService(sim, members, policy,
                              admission=admission,
                              spill_device=spill_member)

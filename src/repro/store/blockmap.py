@@ -1,0 +1,110 @@
+"""Logical-to-physical block map with compressed-extent packing.
+
+Transparent-compression block devices (Elastic RAID's built-in
+compression layer, the paper's DP-CSD) cannot store variable-size
+compressed outputs in place: they pack them into fixed-size physical
+segments and keep a map from logical block id to ``(segment, offset,
+length)``.  This module models exactly that bookkeeping — append-only
+segment packing, overwrite invalidation, and the live/garbage byte
+accounting that space-amplification and GC-pressure figures come from.
+
+The payload bytes themselves are never stored; like the service layer,
+the store works on descriptors, so the map records compressed *sizes*
+(which also encode each block's achieved ratio for the read path's
+decompress cost model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StoreError
+
+
+@dataclass(frozen=True)
+class BlockLocation:
+    """Physical placement of one compressed logical block."""
+
+    segment: int
+    offset: int
+    length: int
+
+
+class BlockMap:
+    """Maps logical block ids to packed physical locations.
+
+    Writes append into the currently-open segment; a compressed block
+    that does not fit opens a new segment (no intra-block splits, like
+    a log-structured segment writer).  Overwrites leave the old extent
+    behind as garbage — the quantity a GC pass would reclaim.
+    """
+
+    def __init__(self, segment_bytes: int = 256 * 1024) -> None:
+        if segment_bytes <= 0:
+            raise StoreError(f"segment size must be > 0, got {segment_bytes}")
+        self.segment_bytes = segment_bytes
+        self._map: dict[int, BlockLocation] = {}
+        self._open_segment = 0
+        self._open_offset = 0
+        self.live_bytes = 0
+        self.garbage_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._map
+
+    # -- writes ---------------------------------------------------------------
+
+    def store(self, block: int, compressed_bytes: int) -> BlockLocation:
+        """Record ``block``'s new compressed extent; returns its location."""
+        if not 0 < compressed_bytes <= self.segment_bytes:
+            raise StoreError(
+                f"compressed size {compressed_bytes} outside "
+                f"(0, {self.segment_bytes}]"
+            )
+        old = self._map.get(block)
+        if old is not None:
+            self.live_bytes -= old.length
+            self.garbage_bytes += old.length
+        if self._open_offset + compressed_bytes > self.segment_bytes:
+            self._open_segment += 1
+            self._open_offset = 0
+        location = BlockLocation(self._open_segment, self._open_offset,
+                                 compressed_bytes)
+        self._open_offset += compressed_bytes
+        self._map[block] = location
+        self.live_bytes += compressed_bytes
+        return location
+
+    # -- reads ----------------------------------------------------------------
+
+    def lookup(self, block: int) -> BlockLocation:
+        location = self._map.get(block)
+        if location is None:
+            raise StoreError(f"block {block} is not mapped")
+        return location
+
+    # -- space accounting -------------------------------------------------------
+
+    @property
+    def segments(self) -> int:
+        """Segments allocated so far (including the open one, if dirty)."""
+        return self._open_segment + (1 if self._open_offset > 0 else 0)
+
+    @property
+    def physical_bytes(self) -> int:
+        """Capacity consumed, counted in whole segments."""
+        return self.segments * self.segment_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Live compressed bytes over allocated capacity."""
+        physical = self.physical_bytes
+        return self.live_bytes / physical if physical else 0.0
+
+    def compression_ratio(self, logical_block_bytes: int) -> float:
+        """Achieved live ratio (compressed/original) over mapped blocks."""
+        logical = len(self._map) * logical_block_bytes
+        return self.live_bytes / logical if logical else 1.0

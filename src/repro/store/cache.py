@@ -1,0 +1,123 @@
+"""Decompressed-block cache: LRU with ghost-list hit-rate accounting.
+
+The cache holds *decompressed* logical blocks, so a hit turns a read
+into a DRAM copy instead of a decompress offload — the lever that
+shifts read-path traffic off the CDPU fleet.  Capacity is counted in
+blocks (the store serves fixed-size logical blocks, so block count and
+byte budget are proportional).
+
+Beyond plain LRU, the cache keeps a *ghost list* of recently-evicted
+keys (the bookkeeping half of ARC): a miss whose key is still on the
+ghost list is a miss that a larger cache would have converted into a
+hit.  ``ghost_hit_rate`` therefore answers the capacity-planning
+question — "how much would doubling the cache help?" — without running
+the sweep twice.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.errors import StoreError
+
+
+class BlockCache:
+    """LRU cache of decompressed blocks with ghost-list accounting.
+
+    ``capacity_blocks == 0`` disables caching (every lookup misses),
+    which is the natural baseline point of a cache-size sweep.  The
+    ghost list defaults to the cache's own capacity, so a ghost hit
+    means "a 2x cache would have caught this".
+    """
+
+    def __init__(self, capacity_blocks: int,
+                 ghost_blocks: int | None = None) -> None:
+        if capacity_blocks < 0:
+            raise StoreError(
+                f"cache capacity must be >= 0, got {capacity_blocks}")
+        if ghost_blocks is not None and ghost_blocks < 0:
+            raise StoreError(
+                f"ghost capacity must be >= 0, got {ghost_blocks}")
+        self.capacity = capacity_blocks
+        self.ghost_capacity = (capacity_blocks if ghost_blocks is None
+                               else ghost_blocks)
+        self._entries: OrderedDict[Hashable, bool] = OrderedDict()
+        self._ghost: OrderedDict[Hashable, bool] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.ghost_hits = 0
+        self.insertions = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    # -- access ---------------------------------------------------------------
+
+    def lookup(self, key: Hashable) -> bool:
+        """Probe for ``key``; promotes on hit, counts ghost hits on miss."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if key in self._ghost:
+            self.ghost_hits += 1
+            del self._ghost[key]
+        return False
+
+    def insert(self, key: Hashable) -> None:
+        """Install (or refresh) ``key`` as the most-recently-used entry."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        # A re-inserted key must not linger on the ghost list, or its
+        # next eviction-then-miss would double count.
+        self._ghost.pop(key, None)
+        self._entries[key] = True
+        self.insertions += 1
+        while len(self._entries) > self.capacity:
+            evicted, _ = self._entries.popitem(last=False)
+            self.evictions += 1
+            if self.ghost_capacity > 0:
+                self._ghost[evicted] = True
+                while len(self._ghost) > self.ghost_capacity:
+                    self._ghost.popitem(last=False)
+
+    def invalidate(self, key: Hashable) -> None:
+        """Drop ``key`` without ghost accounting (explicit invalidation)."""
+        self._entries.pop(key, None)
+
+    # -- accounting -------------------------------------------------------------
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def ghost_hit_rate(self) -> float:
+        """Fraction of misses a larger cache would have converted."""
+        return self.ghost_hits / self.misses if self.misses else 0.0
+
+    def stats(self) -> dict:
+        """Flat counters for experiment tables."""
+        return {
+            "capacity": self.capacity,
+            "resident": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "ghost_hits": self.ghost_hits,
+            "ghost_hit_rate": self.ghost_hit_rate,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,370 @@
+"""The compressed block store: GET/PUT serving over the offload fleet.
+
+This is the tier that closes the paper's read-path loop.  Writes
+compress through the :class:`~repro.service.offload.OffloadService`
+(``op="compress"``) and pack their compressed extents into fixed-size
+segments via :class:`~repro.store.blockmap.BlockMap`.  Reads first
+probe the decompressed-block cache
+(:class:`~repro.store.cache.BlockCache`): a hit is a DRAM copy, a miss
+reads the compressed extent from media and issues ``op="decompress"``
+through the service — priced by each device's decompress-calibrated
+cost model, so placement choice reflects the decompress side of
+Figure 12, not the compress side.
+
+Concurrent misses on the same block coalesce onto one in-flight
+decompress (the waiters all complete when it does), so a popularity
+spike does not multiply fleet traffic before the cache warms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from repro.errors import StoreError
+from repro.hw.engine import CdpuDevice
+from repro.service.fleet import FleetDevice
+from repro.service.admission import AdmissionController
+from repro.service.model import DeviceCostModel, ModeledCost, calibrated_ops
+from repro.service.offload import (
+    OffloadService,
+    ServiceReport,
+    build_fleet,
+    default_fleet,
+)
+from repro.service.policy import DispatchPolicy
+from repro.service.request import OffloadRequest
+from repro.sim.engine import Process, Simulator
+from repro.sim.stats import LatencyRecorder
+from repro.store.blockmap import BlockMap
+from repro.store.cache import BlockCache
+from repro.workloads.mixed import MixedStream
+
+
+@dataclass
+class StoreMetrics:
+    """Counters and recorders accumulated over one store run."""
+
+    reads: int = 0
+    writes: int = 0
+    failed_reads: int = 0
+    failed_writes: int = 0
+    coalesced_reads: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+    #: Decompressed bytes served to readers inside the measurement
+    #: window (drained backlog must not inflate read goodput).
+    window_read_bytes: int = 0
+    window_write_bytes: int = 0
+    read_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    hit_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    miss_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    write_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+
+
+@dataclass
+class StoreReport:
+    """Per-run summary: read/write latency split, cache and space stats."""
+
+    policy: str
+    duration_ns: float
+    reads: int
+    writes: int
+    failed_reads: int
+    failed_writes: int
+    coalesced_reads: int
+    hit_rate: float
+    ghost_hit_rate: float
+    read_mean_us: float
+    read_p50_us: float
+    read_p95_us: float
+    read_p99_us: float
+    hit_p99_us: float
+    miss_p99_us: float
+    write_p50_us: float
+    write_p99_us: float
+    window_read_bytes: int
+    window_write_bytes: int
+    compression_ratio: float
+    live_bytes: int
+    garbage_bytes: int
+    physical_bytes: int
+    #: The underlying fleet view (placement breakdowns, spill/shed).
+    service: ServiceReport | None = None
+
+    @property
+    def read_gbps(self) -> float:
+        """Decompressed read goodput over the window (bytes/ns == GB/s)."""
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.window_read_bytes / self.duration_ns
+
+    @property
+    def write_gbps(self) -> float:
+        if self.duration_ns <= 0:
+            return 0.0
+        return self.window_write_bytes / self.duration_ns
+
+    def row(self) -> dict:
+        """Flat row for :func:`repro.profiling.report.format_table`."""
+        return {
+            "policy": self.policy,
+            "read_gbps": self.read_gbps,
+            "hit_rate": self.hit_rate,
+            "read_p50_us": self.read_p50_us,
+            "read_p99_us": self.read_p99_us,
+            "miss_p99_us": self.miss_p99_us,
+            "write_p99_us": self.write_p99_us,
+            "failed": self.failed_reads + self.failed_writes,
+        }
+
+
+class CompressedBlockStore:
+    """Logical compressed block store served by a CDPU fleet.
+
+    The store works on fixed-size logical blocks (``block_bytes``).
+    Reads and writes are descriptor-level like the service layer: the
+    map records compressed sizes, and each block's achieved ratio
+    (``length / block_bytes``) feeds the decompress cost model on the
+    read path.
+    """
+
+    def __init__(self, sim: Simulator, service: OffloadService,
+                 cache: BlockCache, *,
+                 block_bytes: int = 65536,
+                 segment_bytes: int | None = None,
+                 hit_overhead_ns: float = 400.0,
+                 hit_per_byte_ns: float = 0.032,
+                 media_overhead_ns: float = 5000.0,
+                 media_per_byte_ns: float = 0.025) -> None:
+        if block_bytes <= 0:
+            raise StoreError(f"block size must be > 0, got {block_bytes}")
+        self.sim = sim
+        self.service = service
+        self.cache = cache
+        self.block_bytes = block_bytes
+        self.blockmap = BlockMap(segment_bytes if segment_bytes is not None
+                                 else 4 * block_bytes)
+        #: Cache-hit service time: a DRAM copy of the decompressed block.
+        self.hit_overhead_ns = hit_overhead_ns
+        self.hit_per_byte_ns = hit_per_byte_ns
+        #: Media fetch of the compressed extent on a cache miss.
+        self.media_overhead_ns = media_overhead_ns
+        self.media_per_byte_ns = media_per_byte_ns
+        self.metrics = StoreMetrics()
+        #: Arrival times of readers waiting on an in-flight decompress,
+        #: keyed by block — the duplicate-fetch coalescing state.
+        self._pending_reads: dict[int, list[float]] = {}
+        #: Completions at or before this instant count toward goodput.
+        self.measure_until_ns: float | None = None
+
+    # -- population -------------------------------------------------------------
+
+    def load(self, blocks: int, ratio_range: tuple[float, float] = (0.3, 1.0),
+             seed: int = 0) -> None:
+        """Bulk-populate the block map (no simulated traffic).
+
+        Gives every logical block an initial compressed extent so the
+        read path always resolves; per-block ratios are drawn from a
+        dedicated seeded RNG, independent of the request stream.
+        """
+        rng = random.Random(seed)
+        low, high = ratio_range
+        for block in range(blocks):
+            self.blockmap.store(block, self._compressed_len(
+                rng.uniform(low, high)))
+
+    def _compressed_len(self, ratio: float) -> int:
+        return max(1, round(self.block_bytes * min(max(ratio, 0.0), 1.0)))
+
+    # -- write path -------------------------------------------------------------
+
+    def put(self, block: int, tenant: int, ratio: float) -> str:
+        """Write one logical block; returns the service outcome."""
+        arrival = self.sim.now
+        self.metrics.writes += 1
+        request = OffloadRequest(tenant=tenant, nbytes=self.block_bytes,
+                                 ratio=ratio, op="compress")
+
+        def completed(req: OffloadRequest, device: FleetDevice,
+                      cost: ModeledCost) -> None:
+            self.blockmap.store(block, self._compressed_len(req.ratio))
+            # Write-allocate: freshly written blocks are hot, and the
+            # decompressed content is in hand anyway.
+            self.cache.insert(block)
+            latency_ns = self.sim.now - arrival
+            self.metrics.write_latency.record(latency_ns)
+            self.metrics.write_bytes += self.block_bytes
+            if (self.measure_until_ns is None
+                    or self.sim.now <= self.measure_until_ns):
+                self.metrics.window_write_bytes += self.block_bytes
+
+        outcome = self.service.submit(request, on_complete=completed)
+        if outcome == "shed":
+            self.metrics.failed_writes += 1
+        return outcome
+
+    # -- read path --------------------------------------------------------------
+
+    def get(self, block: int, tenant: int) -> str:
+        """Read one logical block; returns 'hit', 'coalesced', 'miss'
+        or 'shed'."""
+        arrival = self.sim.now
+        self.metrics.reads += 1
+        if self.cache.lookup(block):
+            self.sim.spawn(self._serve_hit(arrival))
+            return "hit"
+        if block in self._pending_reads:
+            # Another reader already has this block's decompress in
+            # flight — piggyback instead of re-fetching.
+            self._pending_reads[block].append(arrival)
+            self.metrics.coalesced_reads += 1
+            return "coalesced"
+        location = self.blockmap.lookup(block)
+        self._pending_reads[block] = [arrival]
+        self.sim.spawn(self._serve_miss(block, tenant, location.length))
+        return "miss"
+
+    def _serve_hit(self, arrival_ns: float) -> Generator[Any, Any, None]:
+        yield self.sim.timeout(self.hit_overhead_ns
+                               + self.hit_per_byte_ns * self.block_bytes)
+        self._finish_read(arrival_ns, self.metrics.hit_latency)
+
+    def _serve_miss(self, block: int, tenant: int,
+                    compressed_len: int) -> Generator[Any, Any, None]:
+        # Fetch the compressed extent from media, then decompress via
+        # the fleet.  The request carries the *decompressed* size (what
+        # the per-op cost models are fitted on) and the block's stored
+        # achieved ratio.
+        yield self.sim.timeout(self.media_overhead_ns
+                               + self.media_per_byte_ns * compressed_len)
+        request = OffloadRequest(tenant=tenant, nbytes=self.block_bytes,
+                                 ratio=compressed_len / self.block_bytes,
+                                 op="decompress")
+
+        def completed(req: OffloadRequest, device: FleetDevice,
+                      cost: ModeledCost) -> None:
+            self.cache.insert(block)
+            for waiter_arrival in self._pending_reads.pop(block, []):
+                self._finish_read(waiter_arrival, self.metrics.miss_latency)
+
+        outcome = self.service.submit(request, on_complete=completed)
+        if outcome == "shed":
+            waiters = self._pending_reads.pop(block, [])
+            self.metrics.failed_reads += len(waiters)
+
+    def _finish_read(self, arrival_ns: float,
+                     recorder: LatencyRecorder) -> None:
+        latency_ns = self.sim.now - arrival_ns
+        recorder.record(latency_ns)
+        self.metrics.read_latency.record(latency_ns)
+        self.metrics.read_bytes += self.block_bytes
+        if (self.measure_until_ns is None
+                or self.sim.now <= self.measure_until_ns):
+            self.metrics.window_read_bytes += self.block_bytes
+
+    # -- open-loop driving --------------------------------------------------------
+
+    def drive(self, stream: MixedStream) -> Process:
+        """Spawn the mixed read/write arrival process for ``stream``."""
+        if stream.block_bytes != self.block_bytes:
+            raise StoreError(
+                f"stream block size {stream.block_bytes} != store "
+                f"block size {self.block_bytes}"
+            )
+        self.measure_until_ns = stream.duration_ns
+        self.service.measure_until_ns = stream.duration_ns
+
+        def arrivals() -> Generator[Any, Any, None]:
+            rng = stream.rng()
+            keys = stream.key_generator()
+            while True:
+                yield self.sim.timeout(stream.next_gap_ns(rng))
+                if self.sim.now >= stream.duration_ns:
+                    break
+                op = stream.make_op(rng, keys)
+                if op.kind == "read":
+                    self.get(op.block, op.tenant)
+                else:
+                    self.put(op.block, op.tenant, op.ratio)
+            self.service.flush()
+        return self.sim.spawn(arrivals())
+
+    # -- reporting ----------------------------------------------------------------
+
+    def report(self, duration_ns: float | None = None) -> StoreReport:
+        metrics = self.metrics
+        reads = metrics.read_latency.summary_us()
+        return StoreReport(
+            policy=self.service.policy.name,
+            duration_ns=duration_ns if duration_ns is not None
+            else self.sim.now,
+            reads=metrics.reads,
+            writes=metrics.writes,
+            failed_reads=metrics.failed_reads,
+            failed_writes=metrics.failed_writes,
+            coalesced_reads=metrics.coalesced_reads,
+            hit_rate=self.cache.hit_rate,
+            ghost_hit_rate=self.cache.ghost_hit_rate,
+            read_mean_us=reads["mean_us"],
+            read_p50_us=reads["p50_us"],
+            read_p95_us=reads["p95_us"],
+            read_p99_us=reads["p99_us"],
+            hit_p99_us=metrics.hit_latency.summary_us()["p99_us"],
+            miss_p99_us=metrics.miss_latency.summary_us()["p99_us"],
+            write_p50_us=metrics.write_latency.summary_us()["p50_us"],
+            write_p99_us=metrics.write_latency.summary_us()["p99_us"],
+            window_read_bytes=metrics.window_read_bytes,
+            window_write_bytes=metrics.window_write_bytes,
+            compression_ratio=self.blockmap.compression_ratio(
+                self.block_bytes),
+            live_bytes=self.blockmap.live_bytes,
+            garbage_bytes=self.blockmap.garbage_bytes,
+            physical_bytes=self.blockmap.physical_bytes,
+            service=self.service.report(duration_ns=duration_ns),
+        )
+
+
+def run_block_store(
+        stream: MixedStream,
+        policy: DispatchPolicy | str = "cost-model",
+        fleet: list[tuple[CdpuDevice, dict[str, DeviceCostModel]]]
+        | None = None,
+        spill: tuple[CdpuDevice, dict[str, DeviceCostModel]]
+        | CdpuDevice | None = None,
+        admission: AdmissionController | None = None,
+        cache_blocks: int = 512,
+        ghost_blocks: int | None = None,
+        batch_size: int = 4,
+        batch_timeout_ns: float | None = 20_000.0,
+        queue_limit: int | None = None,
+        **store_kwargs) -> StoreReport:
+    """One-call store run: build fleet + store, drive the stream, report.
+
+    ``fleet``/``spill`` entries should carry per-op model dicts (see
+    :func:`~repro.service.model.calibrated_ops`) so the read path is
+    priced by decompress-calibrated models; bare devices calibrate both
+    ops on demand.  The block map is preloaded so every read resolves.
+    """
+    sim = Simulator()
+    members, spill_member = build_fleet(
+        sim,
+        fleet if fleet is not None else calibrated_ops(default_fleet()),
+        spill,
+        batch_size=batch_size,
+        batch_timeout_ns=batch_timeout_ns,
+        queue_limit=queue_limit,
+    )
+    service = OffloadService(sim, members, policy,
+                             admission=admission,
+                             spill_device=spill_member)
+    cache = BlockCache(cache_blocks, ghost_blocks)
+    store = CompressedBlockStore(sim, service, cache,
+                                 block_bytes=stream.block_bytes,
+                                 **store_kwargs)
+    store.load(stream.blocks, ratio_range=stream.ratio_range,
+               seed=stream.seed + 2)
+    store.drive(stream)
+    sim.run()
+    return store.report(duration_ns=stream.duration_ns)

@@ -1,4 +1,5 @@
-"""Workload generators: synthetic corpus, entropy sweeps, YCSB, FIO."""
+"""Workload generators: synthetic corpus, entropy sweeps, YCSB, FIO,
+and mixed read/write block-store streams."""
 
 from repro.workloads.corpus import CorpusMember, build_corpus, corpus_chunks
 from repro.workloads.datagen import (
@@ -9,6 +10,7 @@ from repro.workloads.datagen import (
     ratio_controlled_bytes,
 )
 from repro.workloads.fio import FioJob, IoPattern, IoRequest
+from repro.workloads.mixed import MixedStream, StoreOp
 from repro.workloads.ycsb import Operation, OpType, YcsbWorkload, make_value
 from repro.workloads.zipf import (
     ScrambledZipfian,
@@ -21,9 +23,11 @@ __all__ = [
     "FioJob",
     "IoPattern",
     "IoRequest",
+    "MixedStream",
     "Operation",
     "OpType",
     "ScrambledZipfian",
+    "StoreOp",
     "UniformGenerator",
     "YcsbWorkload",
     "ZipfianGenerator",

@@ -1,0 +1,102 @@
+"""Mixed read/write open-loop streams for the compressed block store.
+
+Storage traffic is read-dominated, and the paper's filesystem/KV
+results (Findings 7-8, Figures 16-17) hinge on the decompress side.
+:class:`MixedStream` generates the serving-side view of that traffic:
+Poisson arrivals over a logical block space where each operation is a
+read (decompress path) with probability ``read_fraction`` and a write
+(compress path) otherwise.  Keys follow a scrambled Zipfian popularity
+distribution (YCSB's request distribution), so reads re-reference hot
+blocks — the locality a decompressed-block cache exists to exploit.
+
+Everything is seeded: two streams with the same spec produce identical
+operation sequences.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.workloads.zipf import ScrambledZipfian
+
+
+@dataclass
+class StoreOp:
+    """One logical block-store operation."""
+
+    kind: str  # "read" | "write"
+    block: int
+    tenant: int
+    #: For writes: expected achieved compression ratio of the new data.
+    ratio: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "write"):
+            raise WorkloadError(f"unknown op kind {self.kind!r}")
+        if self.block < 0:
+            raise WorkloadError(f"negative block id {self.block}")
+
+
+@dataclass
+class MixedStream:
+    """Open-loop mixed read/write stream over a logical block space.
+
+    Arrivals are Poisson at the rate implied by ``offered_gbps`` over
+    the (fixed) logical block size; the op mix, key choice, tenant and
+    write compressibility are drawn independently per operation.
+    """
+
+    offered_gbps: float
+    duration_ns: float
+    read_fraction: float = 0.7
+    blocks: int = 2048
+    block_bytes: int = 65536
+    tenants: int = 4
+    zipf_theta: float = 0.99
+    ratio_range: tuple[float, float] = (0.30, 1.0)
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.offered_gbps <= 0:
+            raise WorkloadError(f"offered load must be > 0, "
+                                f"got {self.offered_gbps}")
+        if self.duration_ns <= 0:
+            raise WorkloadError("stream duration must be > 0")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise WorkloadError(
+                f"read_fraction {self.read_fraction} outside [0, 1]")
+        if self.blocks < 1:
+            raise WorkloadError(f"need at least one block, got {self.blocks}")
+        if self.block_bytes <= 0:
+            raise WorkloadError(f"block size must be > 0, "
+                                f"got {self.block_bytes}")
+        if self.tenants < 1:
+            raise WorkloadError("need at least one tenant")
+
+    @property
+    def mean_interarrival_ns(self) -> float:
+        """Gap giving ``offered_gbps`` (bytes/ns) at the block size."""
+        return self.block_bytes / self.offered_gbps
+
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+    def key_generator(self) -> ScrambledZipfian:
+        """Fresh (seeded) Zipfian key source for one drive of the stream."""
+        return ScrambledZipfian(self.blocks, theta=self.zipf_theta,
+                                seed=self.seed + 1)
+
+    def next_gap_ns(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean_interarrival_ns)
+
+    def make_op(self, rng: random.Random,
+                keys: ScrambledZipfian) -> StoreOp:
+        low, high = self.ratio_range
+        return StoreOp(
+            kind="read" if rng.random() < self.read_fraction else "write",
+            block=keys.next(),
+            tenant=rng.randrange(self.tenants),
+            ratio=rng.uniform(low, high),
+        )

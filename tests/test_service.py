@@ -20,6 +20,7 @@ from repro.service import (
     OpenLoopStream,
     RatioAnchor,
     calibrated,
+    calibrated_ops,
     default_fleet,
     make_policy,
     run_offload_service,
@@ -94,6 +95,104 @@ class TestCostModel:
         large = model.predict(65536, 0.5)
         assert large.engine_ns > small.engine_ns
         assert model.predict(4096, 1.0).engine_ns > small.engine_ns
+
+
+class TestDecompressCalibration:
+    """``calibrate(op="decompress")`` across the whole default fleet."""
+
+    @pytest.fixture(scope="class")
+    def models(self):
+        return [(device, models) for device, models in calibrated_ops(
+            default_fleet())]
+
+    def test_covers_every_placement(self, models):
+        placements = {device.placement.value for device, _ in models}
+        assert placements == {"cpu", "peripheral", "on-chip", "in-storage"}
+
+    def test_decompress_fits_are_size_monotone(self, models):
+        for device, per_op in models:
+            decomp = per_op["decompress"]
+            small = decomp.predict(4096, 0.5)
+            large = decomp.predict(65536, 0.5)
+            assert small.engine_ns > 0, device.name
+            assert large.engine_ns > small.engine_ns, device.name
+            assert large.total_ns > small.total_ns, device.name
+
+    def test_decompress_priced_differently_from_compress(self, models):
+        # The whole point of per-op models: each device's decompress
+        # budget disagrees with its compress budget, so routing on the
+        # compress model would mis-place read traffic.
+        for device, per_op in models:
+            comp = per_op["compress"].predict(65536, 0.5).total_ns
+            decomp = per_op["decompress"].predict(65536, 0.5).total_ns
+            assert abs(comp - decomp) / comp > 0.10, device.name
+
+
+class TestMixedOpService:
+    def _decomp_request(self, nbytes=1000, ratio=1.0):
+        return OffloadRequest(tenant=0, nbytes=nbytes, ratio=ratio,
+                              op="decompress")
+
+    def test_decompress_priced_by_decompress_model(self):
+        sim = Simulator()
+        device = FleetDevice(sim, StubDevice(), {
+            "compress": flat_model(engine_per_byte_ns=1.0),
+            "decompress": flat_model(engine_per_byte_ns=0.01),
+        })
+        assert device.estimate_response_ns(
+            self._decomp_request()) == pytest.approx(10.0)
+        assert device.estimate_response_ns(request()) == pytest.approx(1000.0)
+
+    def test_missing_decompress_model_fails_loudly(self):
+        # A compress-only model triggers lazy decompress calibration;
+        # on a stub with no functional datapath that must raise, never
+        # silently fall back to the compress pricing.
+        sim = Simulator()
+        device = FleetDevice(sim, StubDevice(), flat_model())
+        with pytest.raises(NotImplementedError):
+            device.estimate_response_ns(self._decomp_request())
+
+    def test_cost_model_routes_ops_to_different_devices(self):
+        sim = Simulator()
+        comp_fast = FleetDevice(sim, StubDevice(name="comp-fast"), {
+            "compress": flat_model(0.01), "decompress": flat_model(0.1)})
+        decomp_fast = FleetDevice(sim, StubDevice(name="decomp-fast"), {
+            "compress": flat_model(0.1), "decompress": flat_model(0.01)})
+        policy = make_policy("cost-model")
+        fleet = [comp_fast, decomp_fast]
+        assert policy.select(request(), fleet) is comp_fast
+        assert policy.select(self._decomp_request(), fleet) is decomp_fast
+
+    def test_mixed_op_run_reports_per_op_breakdown(self):
+        sim = Simulator()
+        # Enough engines that latency reflects service time, not
+        # queueing behind the interleaved other-op requests.
+        fleet = [FleetDevice(sim, StubDevice(engines=10), {
+            "compress": flat_model(0.1), "decompress": flat_model(0.01)})]
+        service = OffloadService(sim, fleet, policy="cost-model")
+        for index in range(10):
+            if index % 2:
+                service.submit(self._decomp_request())
+            else:
+                service.submit(request())
+        sim.run()
+        rows = {row["op"]: row for row in service.report().op_breakdown}
+        assert set(rows) == {"compress", "decompress"}
+        assert rows["compress"]["count"] == 5
+        assert rows["decompress"]["count"] == 5
+        # Decompress is 10x cheaper on this stub, and the report shows it.
+        assert rows["decompress"]["p50_us"] < rows["compress"]["p50_us"]
+
+    def test_placement_shares_sum_to_one(self):
+        sim = Simulator()
+        fleet = make_fleet(sim)
+        service = OffloadService(sim, fleet, policy="round-robin")
+        for _ in range(8):
+            service.submit(request())
+        sim.run()
+        shares = service.report().placement_shares("compress")
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert service.report().placement_shares("decompress") == {}
 
 
 class TestPolicies:
@@ -286,6 +385,41 @@ class TestAdmission:
         assert service.metrics.shed == 1
         assert service.metrics.offered == 1
 
+    def test_ewma_alpha_validated(self):
+        with pytest.raises(ServiceError):
+            AdmissionController(ewma_alpha=0.0)
+        with pytest.raises(ServiceError):
+            AdmissionController(ewma_alpha=1.5)
+
+    def test_ewma_tracks_trends_not_instants(self):
+        controller = AdmissionController(spill_threshold=0.4,
+                                         shed_threshold=0.8,
+                                         ewma_alpha=0.5)
+        # First sample primes the average; load then drains away.
+        assert controller.decide(1.0) is AdmissionDecision.SHED
+        assert controller.decide(0.0) is AdmissionDecision.SPILL   # 0.50
+        assert controller.decide(0.0) is AdmissionDecision.ADMIT   # 0.25
+        assert controller.smoothed == pytest.approx(0.25)
+
+    def test_ewma_ignores_single_spike_but_not_sustained_load(self):
+        controller = AdmissionController(spill_threshold=0.5,
+                                         shed_threshold=0.9,
+                                         ewma_alpha=0.2)
+        controller.decide(0.0)
+        # One batched-doorbell spike must not trip admission...
+        assert controller.decide(1.0) is AdmissionDecision.ADMIT   # 0.20
+        # ...but sustained overload still does.
+        assert controller.decide(1.0) is AdmissionDecision.ADMIT   # 0.36
+        assert controller.decide(1.0) is AdmissionDecision.ADMIT   # 0.488
+        assert controller.decide(1.0) is AdmissionDecision.SPILL   # 0.590
+
+    def test_default_alpha_is_instantaneous(self):
+        controller = AdmissionController(spill_threshold=0.5,
+                                         shed_threshold=0.9)
+        assert controller.decide(0.0) is AdmissionDecision.ADMIT
+        assert controller.decide(1.0) is AdmissionDecision.SHED
+        assert controller.decide(0.0) is AdmissionDecision.ADMIT
+
 
 class TestOpenLoopService:
     def _stub_pairs(self):
@@ -337,6 +471,13 @@ class TestOpenLoopService:
         assert report.window_bytes <= report.completed_bytes
         assert report.completed_gbps <= \
             report.completed_bytes / report.duration_ns
+
+    def test_report_row_includes_tail_percentiles(self):
+        report = run_offload_service(self._stream(), policy="round-robin",
+                                     fleet=self._stub_pairs())
+        row = report.row()
+        assert {"p50_us", "p95_us", "p99_us"} <= set(row)
+        assert row["p50_us"] <= row["p95_us"] <= row["p99_us"]
 
     def test_fair_share_arbitration_supported(self):
         report = run_offload_service(self._stream(), policy="round-robin",
