@@ -12,8 +12,9 @@ The package provides:
   and controller SoC;
 * :mod:`repro.apps` -- RocksDB-like LSM store and Btrfs/ZFS-like
   filesystems used for end-to-end evaluation;
-* :mod:`repro.service` -- the compression offload service: placement-
-  aware scheduling, batching and admission control over a CDPU fleet;
+* :mod:`repro.service` -- the compression offload service: SLO-class
+  scheduling, placement-aware dispatch, batching, admission control
+  and dynamic fleet reconfiguration over a CDPU fleet;
 * :mod:`repro.store` -- the compressed block store tier: GET/PUT
   serving with a decompressed-block cache and packed block map;
 * :mod:`repro.experiments` -- one module per paper figure/table.
@@ -25,14 +26,18 @@ The package provides:
 _LAZY_EXPORTS = {
     "AdmissionController": "repro.service",
     "DeviceCostModel": "repro.service",
+    "FleetController": "repro.service",
     "FleetDevice": "repro.service",
     "OffloadRequest": "repro.service",
     "OffloadService": "repro.service",
     "OpenLoopStream": "repro.service",
+    "SchedulerCore": "repro.service",
     "ServiceReport": "repro.service",
+    "SloClass": "repro.service",
     "calibrated_ops": "repro.service",
     "default_fleet": "repro.service",
     "make_policy": "repro.service",
+    "make_slo_class": "repro.service",
     "run_offload_service": "repro.service",
     "BlockCache": "repro.store",
     "BlockMap": "repro.store",
@@ -44,7 +49,7 @@ _LAZY_EXPORTS = {
 
 __all__ = sorted(_LAZY_EXPORTS)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 
 def __getattr__(name: str):

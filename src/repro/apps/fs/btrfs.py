@@ -18,7 +18,7 @@ reads decompress them, so correctness is testable end to end.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.apps.kv.hooks import CompressionHook, OffHook
 from repro.errors import ConfigurationError

@@ -19,7 +19,7 @@ experiment layer turns those into closed-loop throughput curves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.apps.kv.hooks import CompressionHook, OffHook
 from repro.apps.kv.memtable import MemTable

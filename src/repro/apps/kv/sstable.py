@@ -10,7 +10,7 @@ in *logical* bytes — the hook decides whether compression shrinks that
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.apps.kv.hooks import BlockCost, CompressionHook
 from repro.errors import ConfigurationError

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from repro.core import huffman
 from repro.core.bitio import BitReader, BitWriter
 from repro.core.matchers import ChainMatcher, ChainMatcherConfig, config_for_level
-from repro.core.tokens import MIN_MATCH, Sequence, TokenStream, reconstruct
+from repro.core.tokens import MIN_MATCH, TokenStream
 from repro.errors import CompressionError, DecompressionError
 
 _EOB = 256  # end-of-block symbol

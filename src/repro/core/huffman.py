@@ -83,8 +83,8 @@ class HuffmanTable:
                 )
             if length:
                 counts[length] += 1
-        kraft = sum(counts[l] << (self.max_bits - l)
-                    for l in range(1, self.max_bits + 1))
+        kraft = sum(counts[length] << (self.max_bits - length)
+                    for length in range(1, self.max_bits + 1))
         if kraft > (1 << self.max_bits):
             raise CompressionError("length vector violates Kraft inequality")
         # RFC 1951 canonical code assignment.

@@ -10,7 +10,7 @@ same work the profile in Figure 2 attributes to LZ77.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.hashtable import hash_word
 from repro.core.tokens import MIN_MATCH, Sequence, TokenStream
@@ -72,7 +72,7 @@ def config_for_level(level: int) -> ChainMatcherConfig:
     """Resolve a level to search parameters (nearest preset at or below)."""
     if level in LEVEL_PRESETS:
         return LEVEL_PRESETS[level]
-    eligible = [l for l in LEVEL_PRESETS if l <= level]
+    eligible = [lvl for lvl in LEVEL_PRESETS if lvl <= level]
     if not eligible:
         raise CompressionError(f"no preset at or below level {level}")
     return LEVEL_PRESETS[max(eligible)]

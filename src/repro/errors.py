@@ -43,5 +43,14 @@ class ServiceError(ReproError):
     """Raised on offload-service misuse (bad policy, queue overrun)."""
 
 
+class PolicyLookupError(ServiceError, ValueError):
+    """Raised when a dispatch-policy name matches no registered policy.
+
+    Doubles as a :class:`ValueError` so callers that validate plain
+    user input (CLI flags, config files) can catch it without importing
+    the service error hierarchy.
+    """
+
+
 class StoreError(ReproError):
     """Raised on block-store misuse (unmapped block, oversized write)."""

@@ -16,6 +16,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     microbench,
     scalability,
     service_scaling,
+    slo_degradation,
     store_scaling,
     tables,
     ycsb_suite,

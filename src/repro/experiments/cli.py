@@ -3,13 +3,16 @@
 Runs the requested experiments (default: all) and prints their tables.
 ``--full`` switches off quick mode for paper-scale workloads.
 
-Two dedicated subcommands expose the serving-layer sweeps with tunable
-parameters (their registered ids run the same sweeps at defaults):
+Three dedicated subcommands expose the serving-layer sweeps with
+tunable parameters (their registered ids run the same sweeps at
+defaults):
 
 * ``repro-experiment service [options]`` — the compress-offload
   scaling sweep (offered load x fleet mix x dispatch policy);
 * ``repro-experiment store [options]`` — the compressed block-store
-  sweep (read fraction x cache size x dispatch policy).
+  sweep (read fraction x cache size x dispatch policy);
+* ``repro-experiment slo [options]`` — the SLO-degradation sweep
+  (brown-out timing x SLO mix x policy).
 """
 
 from __future__ import annotations
@@ -123,20 +126,87 @@ def store_main(argv: list[str]) -> int:
     return 0
 
 
+def slo_main(argv: list[str]) -> int:
+    """The ``slo`` subcommand: SLO-degradation (brown-out) sweep."""
+    from repro.experiments.slo_degradation import (
+        DEFAULT_POLICIES,
+        SLO_MIXES,
+        run_sweep,
+    )
+    from repro.service.policy import POLICIES
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment slo",
+        description="Sweep SLO-class deadline-miss rates under a "
+                    "mid-run device brown-out "
+                    "(brown-out timing x SLO mix x policy).",
+    )
+    parser.add_argument("--brownout-at", type=float, nargs="+",
+                        default=[0.33],
+                        help="brown-out instants as fractions of the "
+                             "stream duration (a healthy baseline run "
+                             "is always included)")
+    parser.add_argument("--speed-factor", type=float, default=0.15,
+                        help="derated fraction of nominal device speed")
+    parser.add_argument("--device", default="qat8970",
+                        help="fleet device to brown out")
+    parser.add_argument("--mix", nargs="+", default=["fg-heavy"],
+                        choices=sorted(SLO_MIXES),
+                        help="SLO mixes (interactive/batch blends)")
+    parser.add_argument("--policy", nargs="+",
+                        default=list(DEFAULT_POLICIES),
+                        choices=sorted(POLICIES),
+                        help="dispatch policies to compare")
+    parser.add_argument("--load-gbps", type=float, default=40.0,
+                        help="offered load in GB/s")
+    parser.add_argument("--duration-ms", type=float, default=3.0,
+                        help="virtual stream duration per run")
+    parser.add_argument("--queue-limit", type=int, default=6,
+                        help="per-device queue depth (shallow queues "
+                             "push backpressure into the scheduler)")
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--spill", action="store_true",
+                        help="add the CPU-software spill device")
+    args = parser.parse_args(argv)
+    try:
+        result = run_sweep(
+            brownout_fracs=(None, *args.brownout_at),
+            mixes=tuple(args.mix),
+            policies=tuple(args.policy),
+            offered_gbps=args.load_gbps,
+            duration_ns=args.duration_ms * 1e6,
+            speed_factor=args.speed_factor,
+            device=args.device,
+            tenants=args.tenants,
+            queue_limit=args.queue_limit,
+            seed=args.seed,
+            spill=args.spill,
+        )
+    except ServiceError as error:
+        print(f"repro-experiment slo: error: {error}", file=sys.stderr)
+        return 2
+    print(result.table())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "service":
         return service_main(argv[1:])
     if argv and argv[0] == "store":
         return store_main(argv[1:])
+    if argv and argv[0] == "slo":
+        return slo_main(argv[1:])
     parser = argparse.ArgumentParser(
         description="Reproduce figures/tables from the ASIC-CDPU paper."
     )
     parser.add_argument("names", nargs="*",
                         help="experiment ids (default: all), or the "
-                             "'service'/'store' subcommands (see "
-                             "'repro-experiment service --help' and "
-                             "'repro-experiment store --help')")
+                             "'service'/'store'/'slo' subcommands (see "
+                             "'repro-experiment service --help', "
+                             "'repro-experiment store --help' and "
+                             "'repro-experiment slo --help')")
     parser.add_argument("--full", action="store_true",
                         help="paper-scale workloads instead of quick mode")
     parser.add_argument("--list", action="store_true",
@@ -147,7 +217,7 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
     names = args.names or sorted(REGISTRY)
-    for subcommand in ("service", "store"):
+    for subcommand in ("service", "store", "slo"):
         if subcommand in names:
             # Flags placed before the subcommand land here; point at the
             # required ordering instead of "unknown experiment '...'".

@@ -1,0 +1,121 @@
+"""SLO-degradation sweep: brown-out timing x SLO mix x policy.
+
+The paper's multi-tenant results (Figure 20, Findings 9-10) show that
+placement only pays off when the serving layer reacts to tenant
+priorities and device state.  This sweep injects a brown-out — the
+peripheral QAT derated to a fraction of nominal speed partway through
+the run — and compares the flat cost-model policy against the
+deadline-aware scheduler across SLO mixes: per-class deadline-miss
+rates show the flat policy spreading the pain evenly while the
+SLO-aware control plane concentrates it on the batch tier.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServiceError
+from repro.experiments.common import ExperimentResult, register
+from repro.hw.cpu import CpuSoftwareDevice
+from repro.service import (
+    FleetController,
+    OpenLoopStream,
+    SloClass,
+    calibrated,
+    default_fleet,
+    run_offload_service,
+)
+
+DEFAULT_POLICIES = ("cost-model", "deadline")
+
+#: Foreground/background classes tuned to the mixed fleet's latency
+#: profile: interactive traffic expects sub-150 us completions, batch
+#: tolerates 4 ms.
+INTERACTIVE_150US = SloClass("interactive", tier=0, deadline_ns=150_000.0)
+BATCH_4MS = SloClass("batch", tier=2, deadline_ns=4_000_000.0)
+
+#: SLO mixes by name: fraction of interactive (foreground) traffic.
+SLO_MIXES = {
+    "fg-light": ((INTERACTIVE_150US, 0.15), (BATCH_4MS, 0.85)),
+    "fg-heavy": ((INTERACTIVE_150US, 0.45), (BATCH_4MS, 0.55)),
+}
+
+
+def run_sweep(brownout_fracs: tuple[float | None, ...] = (None, 0.33),
+              mixes: tuple[str, ...] = ("fg-heavy",),
+              policies: tuple[str, ...] = DEFAULT_POLICIES,
+              offered_gbps: float = 40.0,
+              duration_ns: float = 3e6,
+              speed_factor: float = 0.15,
+              device: str = "qat8970",
+              tenants: int = 4,
+              queue_limit: int = 6,
+              seed: int = 11,
+              spill: bool = False) -> ExperimentResult:
+    """Run the full cross product and tabulate per-class miss rates.
+
+    ``brownout_fracs`` entries are fractions of the stream duration at
+    which ``device`` derates to ``speed_factor`` (``None`` = healthy
+    baseline).  Device queues are kept shallow (``queue_limit``) so
+    backpressure reaches the scheduler, where dispatch order and
+    shedding policy differ between the schedulers under test.
+    """
+    if not 0.0 < speed_factor <= 1.0:
+        raise ServiceError(
+            f"speed factor {speed_factor} outside (0, 1]"
+        )
+    result = ExperimentResult(
+        experiment_id="slo_degradation",
+        title="SLO classes under brown-out: miss rates by timing, "
+              "mix and policy",
+        notes=f"{device} derated to {speed_factor:g}x mid-run; "
+              f"open-loop {offered_gbps:g} GB/s"
+              + ("; spill device: cpu-snappy" if spill
+                 else "; no spill device"),
+    )
+    fleet = calibrated(default_fleet())
+    spill_pair = (calibrated([CpuSoftwareDevice("snappy", threads=16)])[0]
+                  if spill else None)
+    for mix_name in mixes:
+        if mix_name not in SLO_MIXES:
+            raise ServiceError(
+                f"unknown SLO mix {mix_name!r}; known: {sorted(SLO_MIXES)}"
+            )
+        stream = OpenLoopStream(offered_gbps=offered_gbps,
+                                duration_ns=duration_ns,
+                                tenants=tenants,
+                                slo_mix=SLO_MIXES[mix_name],
+                                seed=seed)
+        for brownout_frac in brownout_fracs:
+            def reconfigure(service, frac=brownout_frac):
+                if frac is None:
+                    return
+                controller = FleetController(service)
+                controller.at(frac * duration_ns,
+                              lambda: controller.brown_out(device,
+                                                           speed_factor))
+            for policy in policies:
+                report = run_offload_service(
+                    stream, policy=policy, fleet=fleet, spill=spill_pair,
+                    queue_limit=queue_limit, reconfigure=reconfigure)
+                result.rows.append({
+                    "mix": mix_name,
+                    "brownout_at": (brownout_frac
+                                    if brownout_frac is not None else -1.0),
+                    "policy": policy,
+                    "completed_gbps": report.completed_gbps,
+                    "fg_miss_rate": report.slo_miss_rate("interactive"),
+                    "bg_miss_rate": report.slo_miss_rate("batch"),
+                    "fg_p99_us": next(
+                        (row["p99_us"] for row in report.slo_breakdown
+                         if row["slo"] == "interactive"), 0.0),
+                    "shed": report.shed,
+                })
+    return result
+
+
+@register("slo_degradation")
+def run(quick: bool = True) -> ExperimentResult:
+    if quick:
+        return run_sweep()
+    return run_sweep(brownout_fracs=(None, 0.1, 0.33, 0.66),
+                     mixes=("fg-light", "fg-heavy"),
+                     duration_ns=10e6)

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from repro.devices.specs import TABLE1_CDPUS, TABLE1_SERVER
 from repro.experiments.common import ExperimentResult, register
-from repro.hw.engine import Placement
 
 
 @register("table1")

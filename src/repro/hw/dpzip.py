@@ -23,11 +23,10 @@ appear as explicit terms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.core.blockformat import BlockStats
 from repro.core.dpzip_codec import DpzipCodec, DpzipResult
-from repro.core.lz77 import DecoderStats, EncoderStats
+from repro.core.lz77 import DecoderStats
 from repro.hw.cycles import PipelineAccount, cycles_to_ns
 from repro.hw.engine import (
     CdpuDevice,

@@ -96,6 +96,47 @@ def net_power_w(config: str, device_count: int = 1,
     return breakdown
 
 
+def device_active_w(device_name: str) -> float:
+    """Active wattage for a fleet device by its instance name.
+
+    Normalizes service-layer device names onto the
+    :data:`DEVICE_POWER` catalog — ``"dpzip"`` (the engine instance
+    name) maps to the ``"dpzip-engine"`` entry, and CPU software
+    devices (``"cpu-deflate"``, ``"cpu-snappy"``...) draw the full
+    package power the paper measures against.
+    """
+    if device_name.startswith("cpu"):
+        return CPU_PACKAGE_ACTIVE_W
+    key = "dpzip-engine" if device_name == "dpzip" else device_name
+    if key not in DEVICE_POWER:
+        raise ConfigurationError(
+            f"no power entry for device {device_name!r}; known: "
+            f"{sorted(DEVICE_POWER) + ['cpu*']}"
+        )
+    return DEVICE_POWER[key].active_w
+
+
+def plan_power_cap(active_w_by_name: dict[str, float],
+                   budget_w: float) -> dict[str, float]:
+    """Per-device speed factors fitting the fleet under ``budget_w``.
+
+    Dynamic power scales roughly linearly with clock, so derating a
+    device to a fraction of nominal speed scales its active draw by the
+    same fraction.  The plan derates every device uniformly to the
+    budget/demand ratio — the proportional brown-out a rack-level power
+    cap applies — and leaves the fleet untouched when it already fits.
+    Factors are floored at 5% of nominal: a power cap throttles devices,
+    it does not silently unplug them.
+    """
+    if budget_w <= 0:
+        raise ConfigurationError(f"power budget must be > 0, got {budget_w}")
+    demand_w = sum(active_w_by_name.values())
+    if demand_w <= budget_w:
+        return {name: 1.0 for name in active_w_by_name}
+    factor = max(budget_w / demand_w, 0.05)
+    return {name: factor for name in active_w_by_name}
+
+
 def efficiency_mb_per_joule(throughput_gbps: float,
                             net_w: float) -> float:
     """Paper's power-efficiency metric: MB moved per net joule."""

@@ -1,12 +1,18 @@
 """Admission control: shed or spill when the fleet saturates.
 
-The controller watches fleet utilization (in-flight requests over
-aggregate queue capacity) at every submission.  Past
-``spill_threshold`` new work is redirected to the CPU-software spill
-device — trading the paper's hardware-offload latency win for
-availability, exactly the fallback a production deployment keeps when
-accelerators brown out.  Past ``shed_threshold`` requests are dropped
-outright, bounding queueing delay for everything already admitted.
+The controller is consulted by the
+:class:`~repro.service.scheduler.SchedulerCore` at every submission
+with the current fleet utilization (in-flight requests over *online*
+queue capacity, so unplugged or draining devices tighten admission
+automatically).  Past ``spill_threshold`` new work is redirected to
+the CPU-software spill device — trading the paper's hardware-offload
+latency win for availability, exactly the fallback a production
+deployment keeps when accelerators brown out.  Past ``shed_threshold``
+work is dropped outright, bounding queueing delay for everything
+already admitted; under an SLO-aware policy the scheduler core turns
+that drop into a *low-priority shed-first* eviction, absorbing the
+overload with the most tolerant pending tier before touching the
+arrival itself.
 
 Utilization is smoothed with an exponentially-weighted moving average
 before it is compared against the thresholds, so admission reacts to

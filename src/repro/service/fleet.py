@@ -7,10 +7,19 @@ coalesces submissions into batches that share one doorbell, and serves
 engine occupancy through the :mod:`repro.virt.qos` arbiters so the
 multi-tenant scheduling behaviour of Figure 20 (shared-FIFO QAT vs
 fair-scheduled DP-CSD) carries over into the service layer unchanged.
+
+Fleet membership is dynamic: each device carries a lifecycle
+:class:`DeviceState` (online → draining → offline, driven by the
+:class:`~repro.service.control.FleetController`) and a ``speed_factor``
+that models brown-out/power-cap derating — engine occupancy is scaled
+by ``1 / speed_factor`` both in the served timing and in the response
+estimates the placement policies consult, so dispatch adapts to a
+derated device without being told.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
@@ -21,6 +30,14 @@ from repro.service.request import OffloadRequest
 from repro.sim.engine import Simulator, Store
 from repro.sim.stats import ThroughputTracker
 from repro.virt.qos import FairArbiter, FcfsArbiter, VfRequest
+
+
+class DeviceState(enum.Enum):
+    """Lifecycle of one fleet member."""
+
+    ONLINE = "online"        # accepting and serving work
+    DRAINING = "draining"    # serving in-flight work, accepting nothing
+    OFFLINE = "offline"      # unplugged; holds no work
 
 
 class Batcher:
@@ -70,6 +87,17 @@ class Batcher:
         batch, self._buffer = self._buffer, []
         self._generation += 1
         self._flush_fn(batch)
+
+    def drain_buffer(self) -> list:
+        """Take the buffered items back without flushing them.
+
+        Used when a device is unplugged mid-run: work that has not yet
+        rung a doorbell can still migrate to another fleet member.  The
+        generation bump voids any armed flush timer.
+        """
+        buffer, self._buffer = self._buffer, []
+        self._generation += 1
+        return buffer
 
 
 @dataclass
@@ -124,12 +152,18 @@ class FleetDevice:
                                self._launch_batch)
         self._batch_queue = Store(sim)
         sim.spawn(self._submitter())
+        self.state = DeviceState.ONLINE
+        #: Brown-out/power-cap derating: fraction of nominal engine
+        #: speed (1.0 = healthy).  Served engine occupancy and response
+        #: estimates both scale by ``1 / speed_factor``.
+        self.speed_factor = 1.0
         self.inflight = 0
         self.peak_inflight = 0
         self.completed = 0
         self.batches_submitted = 0
-        #: Predicted engine-time backlog of everything in flight; the
-        #: cost-model policy's queue-depth signal.
+        #: Predicted engine-time backlog of everything in flight, in
+        #: *healthy* (underated) engine-ns; the cost-model policy's
+        #: queue-depth signal, scaled by the derate at estimate time.
         self.backlog_ns = 0.0
         self.throughput = ThroughputTracker()
         # One-slot prediction cache keyed by request identity: the
@@ -158,10 +192,55 @@ class FleetDevice:
             self.models[op] = model
         return model
 
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def is_online(self) -> bool:
+        return self.state is DeviceState.ONLINE
+
+    def set_speed(self, factor: float) -> None:
+        """Derate (or restore) the device to ``factor`` of nominal speed."""
+        if not 0.0 < factor <= 1.0:
+            raise ServiceError(
+                f"speed factor {factor} outside (0, 1]"
+            )
+        self.speed_factor = factor
+
+    def drain(self) -> None:
+        """Stop accepting new work; in-flight work keeps serving."""
+        if self.state is DeviceState.ONLINE:
+            self.state = DeviceState.DRAINING
+
+    def set_online(self) -> None:
+        self.state = DeviceState.ONLINE
+
+    def set_offline(self) -> None:
+        if self.inflight > 0:
+            raise ServiceError(
+                f"{self.name}: cannot go offline with {self.inflight} "
+                f"requests in flight (drain first)"
+            )
+        self.state = DeviceState.OFFLINE
+
+    def take_buffered(self) -> list[_Submission]:
+        """Reclaim not-yet-doorbelled submissions for migration.
+
+        Work sitting in the batch buffer has not reached the hardware,
+        so an unplug can hand it back to the scheduler; anything past
+        the doorbell completes on the draining device.  Reverses the
+        enqueue-side accounting for each reclaimed submission.
+        """
+        submissions = self.batcher.drain_buffer()
+        for submission in submissions:
+            self.inflight -= 1
+            self.backlog_ns = max(
+                self.backlog_ns - submission.cost.engine_ns, 0.0)
+        return submissions
+
     # -- dispatch interface ----------------------------------------------------
 
     def can_accept(self) -> bool:
-        return self.inflight < self.queue_limit
+        return self.is_online and self.inflight < self.queue_limit
 
     def _predict(self, request: OffloadRequest) -> ModeledCost:
         cached = self._cost_cache
@@ -177,11 +256,15 @@ class FleetDevice:
 
         Queue wait is the predicted engine backlog spread over the
         device's engines, plus this request's own phase budget — the
-        cost-model policy minimizes exactly this quantity.
+        cost-model policy minimizes exactly this quantity.  Engine
+        terms are scaled by the current derate, so a browned-out device
+        prices itself honestly and placement adapts.
         """
         cost = self._predict(request)
         engines = max(self.device.engine_count, 1)
-        return self.backlog_ns / engines + cost.total_ns
+        engine_wait = (self.backlog_ns / engines
+                       + cost.engine_ns) / self.speed_factor
+        return (engine_wait + cost.submit_ns + cost.pre_ns + cost.post_ns)
 
     def enqueue(self, request: OffloadRequest,
                 on_complete: Callable[[OffloadRequest, "FleetDevice",
@@ -189,7 +272,9 @@ class FleetDevice:
                 ) -> None:
         if not self.can_accept():
             raise ServiceError(
-                f"{self.name}: enqueue past queue limit {self.queue_limit}"
+                f"{self.name}: enqueue rejected "
+                f"(state={self.state.value}, inflight={self.inflight}, "
+                f"queue limit {self.queue_limit})"
             )
         cost = self._predict(request)
         self.inflight += 1
@@ -219,16 +304,19 @@ class FleetDevice:
             yield self.sim.timeout(cost.pre_ns)
         vf_index = (submission.request.tenant % self._vf_count
                     if self._vf_count else 0)
+        # Derate sampled at engine-entry time: a brown-out mid-run slows
+        # queued work too, exactly like a clock throttle would.
+        engine_ns = cost.engine_ns / self.speed_factor
         yield self.arbiter.submit(VfRequest(
             vf_index=vf_index,
             nbytes=submission.request.nbytes,
-            service_ns=cost.engine_ns,
+            service_ns=engine_ns,
         ))
         if cost.post_ns > 0:
             yield self.sim.timeout(cost.post_ns)
         self.inflight -= 1
         self.backlog_ns = max(self.backlog_ns - cost.engine_ns, 0.0)
         self.completed += 1
-        self.throughput.record(submission.request.nbytes, cost.engine_ns)
+        self.throughput.record(submission.request.nbytes, engine_ns)
         if submission.on_complete is not None:
             submission.on_complete(submission.request, self, cost)

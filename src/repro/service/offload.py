@@ -5,16 +5,23 @@ into: a stream of compression requests from many tenants arrives
 open-loop and must be placed on one of several CDPUs — CPU software,
 peripheral QAT, on-chip QAT, or in-storage DPZip — each with its own
 latency budget, queue and degradation behaviour.  The service runs
-entirely on :class:`repro.sim.engine.Simulator`:
+entirely on :class:`repro.sim.engine.Simulator` and is split into an
+explicit control plane and data plane:
 
-* arrivals come from an :class:`~repro.service.request.OpenLoopStream`;
-* a :class:`~repro.service.policy.DispatchPolicy` picks the placement;
-* each :class:`~repro.service.fleet.FleetDevice` batches submissions
-  and serves engine time through the :mod:`repro.virt.qos` arbiters
-  (so Figure 20's fairness results apply per device);
-* an :class:`~repro.service.admission.AdmissionController` spills to
-  CPU software or sheds when the fleet saturates;
-* per-tenant/per-placement percentiles come out of
+* arrivals come from an :class:`~repro.service.request.OpenLoopStream`
+  carrying per-request :class:`~repro.service.request.SloClass` tags;
+* the :class:`~repro.service.scheduler.SchedulerCore` (control plane)
+  owns admission, placement (via a pluggable
+  :class:`~repro.service.policy.DispatchPolicy`), deadline-aware
+  dispatch order and SLO accounting;
+* each :class:`~repro.service.fleet.FleetDevice` (data plane) batches
+  submissions and serves engine time through the
+  :mod:`repro.virt.qos` arbiters (so Figure 20's fairness results
+  apply per device);
+* the :class:`~repro.service.control.FleetController` reconfigures the
+  fleet mid-run — hotplug, drain/unplug, brown-out, power caps —
+  while the data plane keeps serving;
+* per-tenant/per-placement/per-SLO-class percentiles come out of
   :mod:`repro.sim.stats`.
 """
 
@@ -28,35 +35,13 @@ from repro.hw.cpu import CpuSoftwareDevice
 from repro.hw.dpzip import DpzipEngine
 from repro.hw.engine import CdpuDevice
 from repro.hw.qat import Qat4xxx, Qat8970
-from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.admission import AdmissionController
 from repro.service.fleet import FleetDevice
 from repro.service.model import DeviceCostModel, ModeledCost
 from repro.service.policy import DispatchPolicy, make_policy
 from repro.service.request import OffloadRequest, OpenLoopStream
+from repro.service.scheduler import SchedulerCore, ServiceMetrics
 from repro.sim.engine import Process, Simulator
-from repro.sim.stats import KeyedLatencyRecorder, LatencyRecorder
-
-
-@dataclass
-class ServiceMetrics:
-    """Counters and recorders accumulated over one service run."""
-
-    offered: int = 0
-    completed: int = 0
-    spilled: int = 0
-    shed: int = 0
-    completed_bytes: int = 0
-    #: Bytes completed inside the measurement window (backlog drained
-    #: after arrivals stop must not inflate goodput).
-    window_bytes: int = 0
-    overall: LatencyRecorder = field(default_factory=LatencyRecorder)
-    #: Keyed by (tenant, placement value) — the Figure 20 breakdown.
-    by_tenant_placement: KeyedLatencyRecorder = field(
-        default_factory=KeyedLatencyRecorder)
-    #: Keyed by (op, placement value) — where compress vs decompress
-    #: traffic actually landed (the read-path placement question).
-    by_op_placement: KeyedLatencyRecorder = field(
-        default_factory=KeyedLatencyRecorder)
 
 
 @dataclass
@@ -69,6 +54,7 @@ class ServiceReport:
     completed: int
     spilled: int
     shed: int
+    migrated: int
     completed_bytes: int
     window_bytes: int
     mean_us: float
@@ -78,6 +64,8 @@ class ServiceReport:
     breakdown: list[dict] = field(default_factory=list)
     #: One row per (op, placement): the decompress/compress split.
     op_breakdown: list[dict] = field(default_factory=list)
+    #: One row per SLO class: deadline-miss and shed accounting.
+    slo_breakdown: list[dict] = field(default_factory=list)
     per_device: list[dict] = field(default_factory=list)
 
     @property
@@ -114,121 +102,112 @@ class ServiceReport:
         return {placement: count / total
                 for placement, count in counts.items()}
 
+    def slo_miss_rate(self, slo_name: str) -> float:
+        """Deadline-miss fraction for one SLO class (shed counts missed)."""
+        for row in self.slo_breakdown:
+            if row["slo"] == slo_name:
+                return row["miss_rate"]
+        raise ServiceError(
+            f"no traffic observed for SLO class {slo_name!r}; classes "
+            f"seen: {[row['slo'] for row in self.slo_breakdown]}"
+        )
+
 
 class OffloadService:
-    """Routes an open-loop request stream across a CDPU fleet."""
+    """Routes an open-loop request stream across a CDPU fleet.
+
+    A thin serving façade: per-request control decisions live in the
+    :class:`~repro.service.scheduler.SchedulerCore` (``self.scheduler``)
+    and the fleet membership list is shared with it, so a
+    :class:`~repro.service.control.FleetController` can reconfigure the
+    fleet mid-run through the same core.
+    """
 
     def __init__(self, sim: Simulator,
                  devices: Sequence[FleetDevice],
                  policy: DispatchPolicy | str,
                  admission: AdmissionController | None = None,
-                 spill_device: FleetDevice | None = None) -> None:
+                 spill_device: FleetDevice | None = None,
+                 pending_limit: int | None = None) -> None:
         if not devices:
             raise ServiceError("fleet must contain at least one device")
         self.sim = sim
         self.devices = list(devices)
-        self.policy = (make_policy(policy) if isinstance(policy, str)
-                       else policy)
-        self.admission = admission
         if admission is not None:
             # Sweeps share one controller across runs; its EWMA state
             # belongs to this run only.
             admission.reset()
-        self.spill_device = spill_device
-        self.metrics = ServiceMetrics()
-        #: Completions at or before this instant count toward goodput;
-        #: None counts everything (set by :meth:`drive`).
-        self.measure_until_ns: float | None = None
+        self.scheduler = SchedulerCore(
+            sim, self.devices,
+            make_policy(policy) if isinstance(policy, str) else policy,
+            admission=admission,
+            spill_device=spill_device,
+            pending_limit=pending_limit,
+        )
 
-    # -- state ----------------------------------------------------------------
+    # -- control-plane views ---------------------------------------------------
+
+    @property
+    def policy(self) -> DispatchPolicy:
+        return self.scheduler.placement
+
+    @property
+    def admission(self) -> AdmissionController | None:
+        return self.scheduler.admission
+
+    @property
+    def spill_device(self) -> FleetDevice | None:
+        return self.scheduler.spill_device
+
+    @property
+    def metrics(self) -> ServiceMetrics:
+        return self.scheduler.metrics
+
+    @property
+    def measure_until_ns(self) -> float | None:
+        """Completions at or before this instant count toward goodput."""
+        return self.scheduler.measure_until_ns
+
+    @measure_until_ns.setter
+    def measure_until_ns(self, value: float | None) -> None:
+        self.scheduler.measure_until_ns = value
 
     def utilization(self) -> float:
-        """Fleet fill fraction: in-flight over aggregate queue capacity."""
-        capacity = sum(d.queue_limit for d in self.devices)
-        return sum(d.inflight for d in self.devices) / capacity
+        """Fleet fill fraction: in-flight over online queue capacity."""
+        return self.scheduler.utilization()
 
-    # -- submission -----------------------------------------------------------
+    # -- submission ------------------------------------------------------------
 
     def submit(self, request: OffloadRequest,
                on_complete: Callable[[OffloadRequest, FleetDevice,
-                                      ModeledCost], None] | None = None
+                                      ModeledCost], None] | None = None,
+               on_drop: Callable[[OffloadRequest], None] | None = None
                ) -> str:
-        """Route one request; returns 'admitted', 'spilled' or 'shed'.
+        """Route one request; returns 'admitted', 'queued', 'spilled'
+        or 'shed'.
 
-        ``on_complete`` (if given) runs after the service's own
+        ``on_complete`` (if given) runs after the scheduler's own
         completion accounting — the hook upper layers like the block
-        store use to observe their requests finishing.
+        store use to observe their requests finishing.  ``on_drop``
+        runs if the request is shed, including a later eviction of a
+        queued request by higher-priority work.
         """
-        request.arrival_ns = self.sim.now
-        self.metrics.offered += 1
-        hook = self._completion_hook(on_complete)
-        if self.admission is not None:
-            decision = self.admission.decide(self.utilization())
-            if decision is AdmissionDecision.SHED:
-                self.metrics.shed += 1
-                return "shed"
-            if decision is AdmissionDecision.SPILL:
-                return self._spill_or_shed(request, hook)
-        device = self.policy.select(request, self.devices)
-        if device is None or not device.can_accept():
-            # Backpressure: the chosen queue is full (or every queue is,
-            # for the cost-model policy) — fall back rather than block
-            # the open-loop arrival process.
-            return self._spill_or_shed(request, hook)
-        device.enqueue(request, hook)
-        return "admitted"
+        return self.scheduler.submit(request, on_complete=on_complete,
+                                     on_drop=on_drop)
 
-    def _completion_hook(self, extra: Callable[[OffloadRequest, FleetDevice,
-                                                ModeledCost], None] | None
-                         ) -> Callable[[OffloadRequest, FleetDevice,
-                                        ModeledCost], None]:
-        if extra is None:
-            return self._on_complete
-
-        def chained(request: OffloadRequest, device: FleetDevice,
-                    cost: ModeledCost) -> None:
-            self._on_complete(request, device, cost)
-            extra(request, device, cost)
-        return chained
-
-    def _spill_or_shed(self, request: OffloadRequest,
-                       on_complete: Callable[[OffloadRequest, FleetDevice,
-                                              ModeledCost], None]) -> str:
-        spill = self.spill_device
-        if spill is not None and spill.can_accept():
-            self.metrics.spilled += 1
-            spill.enqueue(request, on_complete)
-            return "spilled"
-        self.metrics.shed += 1
-        return "shed"
-
-    def _on_complete(self, request: OffloadRequest, device: FleetDevice,
-                     cost: ModeledCost) -> None:
-        latency_ns = self.sim.now - request.arrival_ns
-        self.metrics.completed += 1
-        self.metrics.completed_bytes += request.nbytes
-        if (self.measure_until_ns is None
-                or self.sim.now <= self.measure_until_ns):
-            self.metrics.window_bytes += request.nbytes
-        self.metrics.overall.record(latency_ns)
-        self.metrics.by_tenant_placement.record(
-            (request.tenant, device.placement.value), latency_ns)
-        self.metrics.by_op_placement.record(
-            (request.op, device.placement.value), latency_ns)
-
-    # -- open-loop driving ----------------------------------------------------
+    # -- open-loop driving -----------------------------------------------------
 
     def flush(self) -> None:
         """Flush every device's partially-filled batch immediately.
 
         Called when an arrival stream ends: buffered submissions must
         not wait on a batch timer that will never be joined by further
-        arrivals.
+        arrivals.  Also arms the scheduler's drain mode, so pending
+        work dispatched *after* this point (pump, migration) keeps
+        flushing instead of stranding in a timer-less batch buffer.
         """
-        for device in self.devices:
-            device.batcher.flush_now()
-        if self.spill_device is not None:
-            self.spill_device.batcher.flush_now()
+        self.scheduler.drain_mode = True
+        self.scheduler.flush_batches()
 
     def drive(self, stream: OpenLoopStream) -> Process:
         """Spawn the arrival process for ``stream`` on the simulator."""
@@ -244,7 +223,7 @@ class OffloadService:
             self.flush()
         return self.sim.spawn(arrivals())
 
-    # -- reporting ------------------------------------------------------------
+    # -- reporting -------------------------------------------------------------
 
     def report(self, duration_ns: float | None = None) -> ServiceReport:
         metrics = self.metrics
@@ -255,10 +234,26 @@ class OffloadService:
             per_device.append({
                 "device": device.name,
                 "placement": device.placement.value,
+                "state": device.state.value,
+                "speed": device.speed_factor,
                 "completed": device.completed,
                 "peak_inflight": device.peak_inflight,
                 "batches": device.batches_submitted,
                 "engine_gbps": device.throughput.gbps(),
+            })
+        slo_breakdown = []
+        for name, stats in sorted(metrics.slo.items(),
+                                  key=lambda kv: (kv[1].tier, kv[0])):
+            latency = metrics.by_slo.summary_us((name,))
+            slo_breakdown.append({
+                "slo": name,
+                "tier": stats.tier,
+                "completed": stats.completed,
+                "missed": stats.missed,
+                "shed": stats.shed,
+                "miss_rate": stats.miss_rate,
+                "p50_us": latency["p50_us"],
+                "p99_us": latency["p99_us"],
             })
         return ServiceReport(
             policy=self.policy.name,
@@ -268,6 +263,7 @@ class OffloadService:
             completed=metrics.completed,
             spilled=metrics.spilled,
             shed=metrics.shed,
+            migrated=metrics.migrated,
             completed_bytes=metrics.completed_bytes,
             window_bytes=metrics.window_bytes,
             mean_us=summary["mean_us"],
@@ -278,6 +274,7 @@ class OffloadService:
                 ("tenant", "placement")),
             op_breakdown=metrics.by_op_placement.breakdown(
                 ("op", "placement")),
+            slo_breakdown=slo_breakdown,
             per_device=per_device,
         )
 
@@ -343,12 +340,20 @@ def run_offload_service(
         batch_size: int = 4,
         batch_timeout_ns: float | None = 20_000.0,
         queue_limit: int | None = None,
-        fair_share_tenants: int | None = None) -> ServiceReport:
+        fair_share_tenants: int | None = None,
+        pending_limit: int | None = None,
+        reconfigure: Callable[["OffloadService"], None] | None = None
+        ) -> ServiceReport:
     """One-call service run: build the fleet, drive the stream, report.
 
     ``fleet``/``spill`` entries may be bare devices (calibrated here),
     ``(device, model)`` pairs, or ``(device, {op: model})`` pairs so
     sweeps can calibrate once and reuse across ops.
+
+    ``reconfigure`` (if given) runs with the built service before the
+    simulation starts — the hook for scheduling mid-run fleet events
+    through a :class:`~repro.service.control.FleetController` (brown-
+    outs, unplugs, power caps).
     """
     sim = Simulator()
     members, spill_member = build_fleet(
@@ -360,7 +365,10 @@ def run_offload_service(
     )
     service = OffloadService(sim, members, policy,
                              admission=admission,
-                             spill_device=spill_member)
+                             spill_device=spill_member,
+                             pending_limit=pending_limit)
+    if reconfigure is not None:
+        reconfigure(service)
     service.drive(stream)
     sim.run()
     return service.report(duration_ns=stream.duration_ns)

@@ -1,28 +1,45 @@
-"""Pluggable placement/dispatch policies for the offload service.
+"""Pluggable placement strategies for the offload control plane.
 
 Each policy answers one question per request: *which fleet device
-should serve this?*  The four built-ins span the paper's placement
-discussion (§4-§5): static pinning and round-robin are the
-placement-oblivious baselines, shortest-queue reacts to congestion
-only, and the cost-model policy folds the per-placement latency
-budgets exposed by ``service_profile()`` together with current queue
-depth and the request's size/compressibility — the profiling-driven
-placement choice the paper argues for.
+should serve this?*  Policies are placement strategies under the
+:class:`~repro.service.scheduler.SchedulerCore` — the core owns
+admission, dispatch order (EDF within an SLO tier) and shedding, and
+consults the installed policy only for the placement choice itself.
+
+The four flat built-ins span the paper's placement discussion (§4-§5):
+static pinning and round-robin are the placement-oblivious baselines,
+shortest-queue reacts to congestion only, and the cost-model policy
+folds the per-placement latency budgets exposed by
+``service_profile()`` together with current queue depth and the
+request's size/compressibility — the profiling-driven placement choice
+the paper argues for.  The ``deadline`` policy keeps cost-model
+placement but flags itself ``slo_aware``, switching the scheduler core
+into deadline-aware dispatch (EDF within tier, low-priority shed-first
+on overload).
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.errors import ServiceError
+from repro.errors import PolicyLookupError, ServiceError
 from repro.service.fleet import FleetDevice
 from repro.service.request import OffloadRequest
 
 
 class DispatchPolicy:
-    """Chooses a fleet device for each request (or None to decline)."""
+    """Chooses a fleet device for each request (or None to decline).
+
+    ``select`` only ever sees the *online* fleet members — the
+    scheduler core filters out draining/offline devices before
+    consulting the policy, so strategies stay oblivious to fleet
+    reconfiguration.
+    """
 
     name = "policy"
+    #: True switches the scheduler core into deadline-aware dispatch
+    #: (pending queue, EDF within tier, low-priority shed-first).
+    slo_aware = False
 
     def select(self, request: OffloadRequest,
                devices: Sequence[FleetDevice]) -> FleetDevice | None:
@@ -35,18 +52,47 @@ class StaticPinning(DispatchPolicy):
     The "one tenant, one device" deployment the paper's multi-tenant
     section starts from; no feedback, so a tenant pinned to a slow or
     congested placement stays there.
+
+    With an explicit ``mapping``, every tenant must be mapped: an
+    unmapped tenant raises instead of silently falling back to the
+    modulo default (a typo'd tenant id landing on an arbitrary device
+    is a misconfiguration, not a placement choice).  Mapping values may
+    be device *names* — the only form stable under dynamic fleet
+    membership — or indices into the current online fleet; an
+    out-of-range index raises rather than wrapping onto an arbitrary
+    survivor, and a pinned name that is not online declines the
+    request (the scheduler's queue/spill/shed fallback takes over).
     """
 
     name = "static"
 
-    def __init__(self, mapping: dict[int, int] | None = None) -> None:
+    def __init__(self, mapping: dict[int, int | str] | None = None) -> None:
         self.mapping = mapping or {}
 
     def select(self, request: OffloadRequest,
                devices: Sequence[FleetDevice]) -> FleetDevice | None:
-        index = self.mapping.get(request.tenant,
-                                 request.tenant % len(devices))
-        return devices[index % len(devices)]
+        if not self.mapping:
+            return devices[request.tenant % len(devices)]
+        target = self.mapping.get(request.tenant)
+        if target is None:
+            raise ServiceError(
+                f"static pinning has an explicit mapping but tenant "
+                f"{request.tenant} is not in it (mapped tenants: "
+                f"{sorted(self.mapping)})"
+            )
+        if isinstance(target, str):
+            for device in devices:
+                if device.name == target:
+                    return device
+            return None  # pinned device offline: decline, don't re-pin
+        if not 0 <= target < len(devices):
+            raise ServiceError(
+                f"static pinning maps tenant {request.tenant} to device "
+                f"index {target}, but only {len(devices)} devices are "
+                f"online; pin by device name for reconfiguration-stable "
+                f"mappings"
+            )
+        return devices[target]
 
 
 class RoundRobin(DispatchPolicy):
@@ -81,9 +127,10 @@ class CostModelPolicy(DispatchPolicy):
 
     Each candidate's estimate combines its calibrated phase budget for
     *this* request's size and compressibility with its current engine
-    backlog (see :meth:`FleetDevice.estimate_response_ns`).  Devices at
-    their queue limit are excluded so backpressure turns into re-routing
-    instead of blocking.
+    backlog and derating state (see
+    :meth:`FleetDevice.estimate_response_ns`).  Devices at their queue
+    limit are excluded so backpressure turns into re-routing instead of
+    blocking.
     """
 
     name = "cost-model"
@@ -97,18 +144,35 @@ class CostModelPolicy(DispatchPolicy):
                    key=lambda d: d.estimate_response_ns(request))
 
 
+class DeadlineAware(CostModelPolicy):
+    """Cost-model placement under deadline-aware scheduling.
+
+    Placement across tiers stays cost-model — the calibrated estimates
+    already reflect brown-out derating and queue backlog — but the
+    ``slo_aware`` flag switches the scheduler core into its SLO mode:
+    requests that find no capacity wait in a pending queue served EDF
+    within priority tier, and overload sheds the lowest-priority,
+    latest-deadline pending work first instead of whatever arrived.
+    """
+
+    name = "deadline"
+    slo_aware = True
+
+
 POLICIES = {
     StaticPinning.name: StaticPinning,
     RoundRobin.name: RoundRobin,
     ShortestQueue.name: ShortestQueue,
     CostModelPolicy.name: CostModelPolicy,
+    DeadlineAware.name: DeadlineAware,
 }
 
 
 def make_policy(name: str) -> DispatchPolicy:
     """Fresh policy instance by name (policies carry per-run state)."""
     if name not in POLICIES:
-        raise ServiceError(
-            f"unknown dispatch policy {name!r}; known: {sorted(POLICIES)}"
+        raise PolicyLookupError(
+            f"unknown dispatch policy {name!r}; valid policies: "
+            f"{sorted(POLICIES)}"
         )
     return POLICIES[name]()

@@ -1,4 +1,4 @@
-"""Request and open-loop stream types for the offload service.
+"""Request, SLO-class and open-loop stream types for the offload service.
 
 The service layer works on *descriptors*, not payload bytes: a request
 carries its size and an expected achieved compression ratio (the two
@@ -6,14 +6,70 @@ properties every device cost model keys on — Figures 8/9 for size,
 Figure 12 for compressibility).  The functional datapath has already
 been exercised during model calibration, so the DES loop stays fast
 enough to serve millions of simulated requests.
+
+Requests additionally carry an :class:`SloClass` — a priority tier plus
+a relative deadline budget — which the control plane
+(:class:`~repro.service.scheduler.SchedulerCore`) uses for
+deadline-aware dispatch and low-priority-first shedding, the serving
+discipline behind the paper's multi-tenant results (Figure 20,
+Findings 9-10).
 """
 
 from __future__ import annotations
 
+import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ServiceError
+
+
+@dataclass(frozen=True)
+class SloClass:
+    """One service-level objective: a priority tier plus a deadline.
+
+    ``tier`` orders classes for scheduling and shedding — *lower* tiers
+    are more latency-critical; under overload the scheduler sheds the
+    highest tier first.  ``deadline_ns`` is the relative
+    (arrival-to-completion) latency budget; a completion later than
+    ``arrival + deadline_ns`` counts as a deadline miss for the class.
+    """
+
+    name: str
+    tier: int
+    deadline_ns: float
+
+    def __post_init__(self) -> None:
+        if self.tier < 0:
+            raise ServiceError(f"SLO tier must be >= 0, got {self.tier}")
+        if not self.deadline_ns > 0:
+            raise ServiceError(
+                f"SLO deadline must be > 0, got {self.deadline_ns}"
+            )
+
+
+#: Latency-critical foreground traffic (e.g. a user-facing GET).
+INTERACTIVE = SloClass("interactive", tier=0, deadline_ns=200_000.0)
+
+#: Throughput-oriented background traffic (e.g. PUT packing, flushes).
+THROUGHPUT = SloClass("throughput", tier=1, deadline_ns=2_000_000.0)
+
+#: Scavenger work with no deadline to speak of; first to be shed.
+BEST_EFFORT = SloClass("best-effort", tier=2, deadline_ns=math.inf)
+
+#: Standard classes by name, for CLI flags and config files.
+SLO_CLASSES: dict[str, SloClass] = {
+    cls.name: cls for cls in (INTERACTIVE, THROUGHPUT, BEST_EFFORT)
+}
+
+
+def make_slo_class(name: str) -> SloClass:
+    """Look up a standard SLO class by name."""
+    if name not in SLO_CLASSES:
+        raise ServiceError(
+            f"unknown SLO class {name!r}; known: {sorted(SLO_CLASSES)}"
+        )
+    return SLO_CLASSES[name]
 
 
 @dataclass
@@ -26,6 +82,8 @@ class OffloadRequest:
     #: means incompressible.  Drives the per-device degradation models.
     ratio: float = 0.5
     op: str = "compress"
+    #: Service-level objective: priority tier + deadline budget.
+    slo: SloClass = BEST_EFFORT
     #: Stamped by the service when the request is submitted.
     arrival_ns: float = 0.0
 
@@ -37,15 +95,24 @@ class OffloadRequest:
         if self.op not in ("compress", "decompress"):
             raise ServiceError(f"unknown op {self.op!r}")
 
+    @property
+    def deadline_ns(self) -> float:
+        """Absolute completion deadline (valid once ``arrival_ns`` set)."""
+        return self.arrival_ns + self.slo.deadline_ns
+
 
 @dataclass
 class OpenLoopStream:
     """Open-loop (arrival-rate driven) request stream specification.
 
     Arrivals are Poisson at the rate implied by ``offered_gbps`` over
-    the mean request size; sizes, tenants and compressibility are drawn
-    independently per request.  Everything is seeded — two streams with
-    the same spec produce identical request sequences.
+    the mean request size; sizes, tenants, compressibility and SLO
+    classes are drawn independently per request.  Everything is seeded —
+    two streams with the same spec produce identical request sequences.
+
+    ``slo_mix`` assigns each request an :class:`SloClass` drawn from
+    weighted ``(class, weight)`` pairs; ``None`` leaves every request at
+    the :data:`BEST_EFFORT` default (the pre-SLO behaviour).
     """
 
     offered_gbps: float
@@ -53,7 +120,12 @@ class OpenLoopStream:
     tenants: int = 4
     request_sizes: tuple[int, ...] = (16384, 65536, 131072)
     ratio_range: tuple[float, float] = (0.30, 1.0)
+    slo_mix: tuple[tuple[SloClass, float], ...] | None = None
     seed: int = 1234
+    _slo_classes: tuple[SloClass, ...] = field(init=False, repr=False,
+                                               default=())
+    _slo_weights: tuple[float, ...] = field(init=False, repr=False,
+                                            default=())
 
     def __post_init__(self) -> None:
         if self.offered_gbps <= 0:
@@ -65,6 +137,13 @@ class OpenLoopStream:
             raise ServiceError("need at least one tenant")
         if not self.request_sizes:
             raise ServiceError("need at least one request size")
+        if self.slo_mix is not None:
+            if not self.slo_mix:
+                raise ServiceError("slo_mix must not be empty")
+            if any(weight <= 0 for _, weight in self.slo_mix):
+                raise ServiceError("slo_mix weights must be > 0")
+            self._slo_classes = tuple(cls for cls, _ in self.slo_mix)
+            self._slo_weights = tuple(w for _, w in self.slo_mix)
 
     @property
     def mean_request_bytes(self) -> float:
@@ -83,8 +162,13 @@ class OpenLoopStream:
 
     def make_request(self, rng: random.Random) -> OffloadRequest:
         low, high = self.ratio_range
+        slo = BEST_EFFORT
+        if self._slo_classes:
+            slo = rng.choices(self._slo_classes,
+                              weights=self._slo_weights)[0]
         return OffloadRequest(
             tenant=rng.randrange(self.tenants),
             nbytes=rng.choice(self.request_sizes),
             ratio=rng.uniform(low, high),
+            slo=slo,
         )

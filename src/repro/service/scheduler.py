@@ -1,0 +1,412 @@
+"""The control plane's scheduler core: dispatch, admission, SLOs.
+
+:class:`SchedulerCore` owns every per-request control decision of the
+offload service — the data plane (:class:`~repro.service.fleet.
+FleetDevice`) only executes what the core dispatches:
+
+* **admission** — the :class:`~repro.service.admission.
+  AdmissionController` watches smoothed fleet utilization; past its
+  thresholds the core spills to CPU software or sheds, shedding the
+  *lowest-priority, latest-deadline* pending work first so overload is
+  absorbed by the tiers that can stand it (the paper's multi-tenant
+  priority result, Findings 9-10);
+* **placement** — a pluggable :class:`~repro.service.policy.
+  DispatchPolicy` picks the device among the *online* fleet members;
+  the core filters out draining/offline devices so strategies stay
+  oblivious to fleet reconfiguration;
+* **dispatch order** — with an SLO-aware policy, requests that find no
+  capacity wait in a bounded pending queue served earliest-deadline-
+  first within each priority tier (EDF across equal tiers, strict
+  priority across tiers).  With a flat policy the pending queue has
+  zero length and the core degrades to the immediate
+  dispatch-spill-shed behaviour the flat policies were built around;
+* **SLO accounting** — every completion is checked against its
+  request's :class:`~repro.service.request.SloClass` deadline, feeding
+  the per-class deadline-miss rates in
+  :class:`~repro.service.offload.ServiceReport`.
+
+The core is also the re-entry point for dynamic fleet reconfiguration:
+the :class:`~repro.service.control.FleetController` hands reclaimed
+in-flight work to :meth:`migrate` and kicks :meth:`pump` whenever
+membership or device speed changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ServiceError
+from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.fleet import FleetDevice, _Submission
+from repro.service.model import ModeledCost
+from repro.service.policy import DispatchPolicy
+from repro.service.request import OffloadRequest, SloClass
+from repro.sim.engine import Simulator
+from repro.sim.stats import KeyedLatencyRecorder, LatencyRecorder
+
+#: Pending-queue depth an SLO-aware policy gets when none is specified.
+DEFAULT_PENDING_LIMIT = 64
+
+CompletionHook = Callable[[OffloadRequest, FleetDevice, ModeledCost], None]
+DropHook = Callable[[OffloadRequest], None]
+
+
+@dataclass
+class SloStats:
+    """Per-SLO-class outcome counters for one service run."""
+
+    tier: int
+    completed: int = 0
+    missed: int = 0
+    shed: int = 0
+
+    @property
+    def offered(self) -> int:
+        return self.completed + self.shed
+
+    @property
+    def miss_rate(self) -> float:
+        """Deadline-miss fraction; a shed request misses by definition."""
+        if self.offered == 0:
+            return 0.0
+        return (self.missed + self.shed) / self.offered
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters and recorders accumulated over one service run."""
+
+    offered: int = 0
+    completed: int = 0
+    spilled: int = 0
+    shed: int = 0
+    #: Requests reclaimed from an unplugged device and re-routed.
+    migrated: int = 0
+    completed_bytes: int = 0
+    #: Bytes completed inside the measurement window (backlog drained
+    #: after arrivals stop must not inflate goodput).
+    window_bytes: int = 0
+    overall: LatencyRecorder = field(default_factory=LatencyRecorder)
+    #: Keyed by (tenant, placement value) — the Figure 20 breakdown.
+    by_tenant_placement: KeyedLatencyRecorder = field(
+        default_factory=KeyedLatencyRecorder)
+    #: Keyed by (op, placement value) — where compress vs decompress
+    #: traffic actually landed (the read-path placement question).
+    by_op_placement: KeyedLatencyRecorder = field(
+        default_factory=KeyedLatencyRecorder)
+    #: Keyed by SLO-class name — the per-class latency distributions.
+    by_slo: KeyedLatencyRecorder = field(
+        default_factory=KeyedLatencyRecorder)
+    #: Per-SLO-class deadline/shed counters, keyed by class name.
+    slo: dict[str, SloStats] = field(default_factory=dict)
+
+    def slo_stats(self, slo: SloClass) -> SloStats:
+        stats = self.slo.get(slo.name)
+        if stats is None:
+            stats = self.slo[slo.name] = SloStats(tier=slo.tier)
+        return stats
+
+
+@dataclass
+class _PendingEntry:
+    """One parked request awaiting capacity, with its hooks."""
+
+    request: OffloadRequest
+    on_complete: CompletionHook
+    on_drop: DropHook | None
+    cancelled: bool = False
+
+
+class _CompletionChain:
+    """Core accounting + caller hook + dispatch pump, in that order.
+
+    A class (not a closure) so :meth:`SchedulerCore.migrate` can
+    recover the caller's drop hook from a reclaimed submission.
+    """
+
+    __slots__ = ("core", "extra", "on_drop")
+
+    def __init__(self, core: "SchedulerCore",
+                 extra: CompletionHook | None,
+                 on_drop: DropHook | None) -> None:
+        self.core = core
+        self.extra = extra
+        self.on_drop = on_drop
+
+    def __call__(self, request: OffloadRequest, device: FleetDevice,
+                 cost: ModeledCost) -> None:
+        self.core._record_completion(request, device, cost)
+        if self.extra is not None:
+            self.extra(request, device, cost)
+        self.core.pump()
+
+
+class SchedulerCore:
+    """Owns dispatch, admission and the SLO model for one service.
+
+    ``devices`` is the live (mutable) fleet membership list, shared
+    with the owning :class:`~repro.service.offload.OffloadService` and
+    the :class:`~repro.service.control.FleetController`.
+    """
+
+    def __init__(self, sim: Simulator, devices: list[FleetDevice],
+                 placement: DispatchPolicy, *,
+                 admission: AdmissionController | None = None,
+                 spill_device: FleetDevice | None = None,
+                 pending_limit: int | None = None,
+                 metrics: ServiceMetrics | None = None) -> None:
+        self.sim = sim
+        self.devices = devices
+        self.placement = placement
+        self.admission = admission
+        self.spill_device = spill_device
+        self.slo_aware = bool(getattr(placement, "slo_aware", False))
+        if pending_limit is None:
+            pending_limit = DEFAULT_PENDING_LIMIT if self.slo_aware else 0
+        if pending_limit < 0:
+            raise ServiceError(
+                f"pending limit must be >= 0, got {pending_limit}"
+            )
+        self.pending_limit = pending_limit
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        #: Completions at or before this instant count toward goodput;
+        #: None counts everything.
+        self.measure_until_ns: float | None = None
+        #: Set when the arrival stream has ended: dispatches made while
+        #: draining flush device batches immediately, because a partial
+        #: batch on a timer-less device would otherwise never ring its
+        #: doorbell (no further arrivals will top it up).
+        self.drain_mode = False
+        # EDF-within-tier pending queue: a heap keyed by
+        # (priority tier, absolute deadline, arrival sequence), with
+        # lazy deletion for shed-first evictions.
+        self._heap: list[tuple[int, float, int, _PendingEntry]] = []
+        self._pending_count = 0
+        self._sequence = itertools.count()
+
+    # -- fleet state -----------------------------------------------------------
+
+    def online_devices(self) -> list[FleetDevice]:
+        return [d for d in self.devices if d.is_online]
+
+    @property
+    def pending(self) -> int:
+        """Requests parked in the scheduler's pending queue."""
+        return self._pending_count
+
+    def utilization(self) -> float:
+        """Fleet fill fraction: in-flight over *online* queue capacity.
+
+        Draining devices still hold in-flight work but contribute no
+        capacity, so unplugging or browning out part of the fleet
+        raises utilization and the admission controller reacts without
+        being told about the reconfiguration.
+        """
+        capacity = sum(d.queue_limit for d in self.online_devices())
+        if capacity <= 0:
+            return 1.0
+        return sum(d.inflight for d in self.devices) / capacity
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, request: OffloadRequest,
+               on_complete: CompletionHook | None = None,
+               on_drop: DropHook | None = None) -> str:
+        """Route one request.
+
+        Returns ``'admitted'`` (dispatched to a device), ``'queued'``
+        (parked pending capacity), ``'spilled'`` or ``'shed'``.
+        ``on_complete`` runs after the core's own completion
+        accounting; ``on_drop`` runs if the request is shed — either
+        now or later, when a pending request is evicted by
+        higher-priority work.
+        """
+        request.arrival_ns = self.sim.now
+        self.metrics.offered += 1
+        hook = _CompletionChain(self, on_complete, on_drop)
+        if self.admission is not None:
+            decision = self.admission.decide(self.utilization())
+            if decision is AdmissionDecision.SHED:
+                # Low-priority shed-first: absorb the overload with
+                # pending work from a strictly lower tier if any
+                # exists; only shed the arrival itself when it *is*
+                # the low-priority work.
+                if not self._evict_below(request.slo.tier):
+                    self._shed(request, on_drop)
+                    return "shed"
+            elif decision is AdmissionDecision.SPILL:
+                return self._spill_or_shed(request, hook, on_drop)
+        return self._dispatch_or_queue(request, hook, on_drop)
+
+    def _dispatch_or_queue(self, request: OffloadRequest,
+                           hook: CompletionHook | None,
+                           on_drop: DropHook | None) -> str:
+        online = self.online_devices()
+        if not online:
+            # No online member means no completion will ever pump the
+            # pending queue — parking would strand the request, so the
+            # spill path is the only capacity left (same rule pump()
+            # applies when the fleet vanishes under parked work).
+            return self._spill_or_shed(request, hook, on_drop)
+        device = self.placement.select(request, online)
+        if device is not None and device.can_accept():
+            device.enqueue(request, hook)
+            return "admitted"
+        # Backpressure: the chosen queue is full (or every queue is,
+        # for the cost-model policies) — park the request if the
+        # pending queue has room (making room by shedding strictly
+        # lower-priority work if needed), else fall back to the CPU
+        # spill path rather than block the open-loop arrival process.
+        if (self._pending_count < self.pending_limit
+                or self._evict_below(request.slo.tier)):
+            self._push_pending(request, hook, on_drop)
+            return "queued"
+        return self._spill_or_shed(request, hook, on_drop)
+
+    def _spill_or_shed(self, request: OffloadRequest,
+                       hook: CompletionHook | None,
+                       on_drop: DropHook | None) -> str:
+        spill = self.spill_device
+        if spill is not None and spill.can_accept():
+            self.metrics.spilled += 1
+            spill.enqueue(request, hook)
+            return "spilled"
+        self._shed(request, on_drop)
+        return "shed"
+
+    def _shed(self, request: OffloadRequest,
+              on_drop: DropHook | None) -> None:
+        self.metrics.shed += 1
+        self.metrics.slo_stats(request.slo).shed += 1
+        if on_drop is not None:
+            on_drop(request)
+
+    # -- pending queue ---------------------------------------------------------
+
+    def _push_pending(self, request: OffloadRequest,
+                      hook: CompletionHook | None,
+                      on_drop: DropHook | None) -> None:
+        entry = _PendingEntry(request, hook, on_drop)
+        heapq.heappush(self._heap, (request.slo.tier, request.deadline_ns,
+                                    next(self._sequence), entry))
+        self._pending_count += 1
+
+    def _peek_pending(self) -> _PendingEntry | None:
+        while self._heap:
+            entry = self._heap[0][3]
+            if entry.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return entry
+        return None
+
+    def _pop_pending(self) -> _PendingEntry | None:
+        while self._heap:
+            entry = heapq.heappop(self._heap)[3]
+            if entry.cancelled:
+                continue
+            self._pending_count -= 1
+            return entry
+        return None
+
+    def _evict_below(self, tier: int) -> bool:
+        """Shed the worst pending entry from a tier strictly below.
+
+        "Worst" is lowest priority first, then latest deadline — the
+        work whose SLO is most tolerant of being dropped.  Returns
+        False when nothing strictly lower-priority is pending.
+        """
+        victim: _PendingEntry | None = None
+        victim_key: tuple | None = None
+        for entry_tier, deadline, sequence, entry in self._heap:
+            if entry.cancelled or entry_tier <= tier:
+                continue
+            key = (entry_tier, deadline, sequence)
+            if victim_key is None or key > victim_key:
+                victim, victim_key = entry, key
+        if victim is None:
+            return False
+        victim.cancelled = True
+        self._pending_count -= 1
+        self._shed(victim.request, victim.on_drop)
+        return True
+
+    def pump(self) -> None:
+        """Dispatch pending work while capacity exists.
+
+        Called on every completion and whenever the fleet controller
+        changes membership or device speed.  Pending entries leave in
+        (tier, deadline) order; if the whole fleet has gone offline the
+        queue drains through the CPU-spill path instead of starving.
+        """
+        while self._pending_count:
+            online = self.online_devices()
+            if not online:
+                entry = self._pop_pending()
+                if entry is not None:
+                    self._spill_or_shed(entry.request, entry.on_complete,
+                                        entry.on_drop)
+                continue
+            entry = self._peek_pending()
+            if entry is None:
+                break
+            device = self.placement.select(entry.request, online)
+            if device is None or not device.can_accept():
+                break
+            self._pop_pending()
+            device.enqueue(entry.request, entry.on_complete)
+        if self.drain_mode:
+            self.flush_batches()
+
+    def flush_batches(self) -> None:
+        """Ring every device's doorbell for whatever is batched."""
+        for device in self.devices:
+            device.batcher.flush_now()
+        if self.spill_device is not None:
+            self.spill_device.batcher.flush_now()
+
+    # -- reconfiguration entry points ------------------------------------------
+
+    def migrate(self, submissions: list[_Submission]) -> None:
+        """Re-route work reclaimed from an unplugged device.
+
+        Each submission keeps its original arrival stamp (time spent on
+        the dead device counts against its deadline) and its completion
+        chain, so caller hooks and SLO accounting survive the move;
+        routing follows the same dispatch/park/spill cascade as a fresh
+        arrival.
+        """
+        for submission in submissions:
+            self.metrics.migrated += 1
+            hook = submission.on_complete
+            on_drop = (hook.on_drop
+                       if isinstance(hook, _CompletionChain) else None)
+            self._dispatch_or_queue(submission.request, hook, on_drop)
+        if self.drain_mode:
+            self.flush_batches()
+
+    # -- completion accounting -------------------------------------------------
+
+    def _record_completion(self, request: OffloadRequest,
+                           device: FleetDevice,
+                           cost: ModeledCost) -> None:
+        metrics = self.metrics
+        latency_ns = self.sim.now - request.arrival_ns
+        metrics.completed += 1
+        metrics.completed_bytes += request.nbytes
+        if (self.measure_until_ns is None
+                or self.sim.now <= self.measure_until_ns):
+            metrics.window_bytes += request.nbytes
+        metrics.overall.record(latency_ns)
+        metrics.by_tenant_placement.record(
+            (request.tenant, device.placement.value), latency_ns)
+        metrics.by_op_placement.record(
+            (request.op, device.placement.value), latency_ns)
+        metrics.by_slo.record((request.slo.name,), latency_ns)
+        stats = metrics.slo_stats(request.slo)
+        stats.completed += 1
+        if latency_ns > request.slo.deadline_ns:
+            stats.missed += 1

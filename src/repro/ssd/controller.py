@@ -13,15 +13,14 @@ fully application-transparent (Finding 8's "host-transparent" property).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.core.dpzip_codec import DpzipCodec
 from repro.hw.dpzip import DpzipEngine
 from repro.hw.engine import PhaseLatency
 from repro.interconnect.pcie import PcieLink, dpcsd_link
 from repro.memory.sram import SramBuffer, SramSpec
 from repro.ssd.ecc import EccEngine
-from repro.ssd.ftl import PAGE_BYTES, CompressingFtl, ReadReport, WriteReport
+from repro.ssd.ftl import CompressingFtl, WriteReport
 from repro.ssd.nand import NandArray
 
 

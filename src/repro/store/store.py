@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Generator
+from typing import Any, Callable, Generator
 
 from repro.errors import StoreError
 from repro.hw.engine import CdpuDevice
@@ -34,7 +34,12 @@ from repro.service.offload import (
     default_fleet,
 )
 from repro.service.policy import DispatchPolicy
-from repro.service.request import OffloadRequest
+from repro.service.request import (
+    INTERACTIVE,
+    THROUGHPUT,
+    OffloadRequest,
+    SloClass,
+)
 from repro.sim.engine import Process, Simulator
 from repro.sim.stats import LatencyRecorder
 from repro.store.blockmap import BlockMap
@@ -90,6 +95,12 @@ class StoreReport:
     live_bytes: int
     garbage_bytes: int
     physical_bytes: int
+    #: SLO-class names the store stamped on its reads/writes, plus the
+    #: per-class deadline-miss rates from the underlying service.
+    read_slo: str = "best-effort"
+    write_slo: str = "best-effort"
+    read_miss_rate: float = 0.0
+    write_miss_rate: float = 0.0
     #: The underlying fleet view (placement breakdowns, spill/shed).
     service: ServiceReport | None = None
 
@@ -128,12 +139,21 @@ class CompressedBlockStore:
     map records compressed sizes, and each block's achieved ratio
     (``length / block_bytes``) feeds the decompress cost model on the
     read path.
+
+    Reads and writes carry distinct SLO classes: a GET is foreground
+    work someone is waiting on (``read_slo``, interactive tier by
+    default) while PUT packing is background ingestion
+    (``write_slo``, throughput tier), so under an SLO-aware scheduler
+    foreground reads beat background writes to constrained fleet
+    capacity.
     """
 
     def __init__(self, sim: Simulator, service: OffloadService,
                  cache: BlockCache, *,
                  block_bytes: int = 65536,
                  segment_bytes: int | None = None,
+                 read_slo: SloClass = INTERACTIVE,
+                 write_slo: SloClass = THROUGHPUT,
                  hit_overhead_ns: float = 400.0,
                  hit_per_byte_ns: float = 0.032,
                  media_overhead_ns: float = 5000.0,
@@ -143,6 +163,8 @@ class CompressedBlockStore:
         self.sim = sim
         self.service = service
         self.cache = cache
+        self.read_slo = read_slo
+        self.write_slo = write_slo
         self.block_bytes = block_bytes
         self.blockmap = BlockMap(segment_bytes if segment_bytes is not None
                                  else 4 * block_bytes)
@@ -185,7 +207,8 @@ class CompressedBlockStore:
         arrival = self.sim.now
         self.metrics.writes += 1
         request = OffloadRequest(tenant=tenant, nbytes=self.block_bytes,
-                                 ratio=ratio, op="compress")
+                                 ratio=ratio, op="compress",
+                                 slo=self.write_slo)
 
         def completed(req: OffloadRequest, device: FleetDevice,
                       cost: ModeledCost) -> None:
@@ -200,10 +223,13 @@ class CompressedBlockStore:
                     or self.sim.now <= self.measure_until_ns):
                 self.metrics.window_write_bytes += self.block_bytes
 
-        outcome = self.service.submit(request, on_complete=completed)
-        if outcome == "shed":
+        def dropped(req: OffloadRequest) -> None:
+            # Fires on a synchronous shed *or* a later eviction of the
+            # queued write by higher-priority work.
             self.metrics.failed_writes += 1
-        return outcome
+
+        return self.service.submit(request, on_complete=completed,
+                                   on_drop=dropped)
 
     # -- read path --------------------------------------------------------------
 
@@ -241,7 +267,7 @@ class CompressedBlockStore:
                                + self.media_per_byte_ns * compressed_len)
         request = OffloadRequest(tenant=tenant, nbytes=self.block_bytes,
                                  ratio=compressed_len / self.block_bytes,
-                                 op="decompress")
+                                 op="decompress", slo=self.read_slo)
 
         def completed(req: OffloadRequest, device: FleetDevice,
                       cost: ModeledCost) -> None:
@@ -249,10 +275,14 @@ class CompressedBlockStore:
             for waiter_arrival in self._pending_reads.pop(block, []):
                 self._finish_read(waiter_arrival, self.metrics.miss_latency)
 
-        outcome = self.service.submit(request, on_complete=completed)
-        if outcome == "shed":
+        def dropped(req: OffloadRequest) -> None:
+            # Fires on a synchronous shed *or* a later eviction of the
+            # queued decompress; every coalesced waiter fails with it.
             waiters = self._pending_reads.pop(block, [])
             self.metrics.failed_reads += len(waiters)
+
+        self.service.submit(request, on_complete=completed,
+                            on_drop=dropped)
 
     def _finish_read(self, arrival_ns: float,
                      recorder: LatencyRecorder) -> None:
@@ -296,6 +326,13 @@ class CompressedBlockStore:
     def report(self, duration_ns: float | None = None) -> StoreReport:
         metrics = self.metrics
         reads = metrics.read_latency.summary_us()
+        service_report = self.service.report(duration_ns=duration_ns)
+
+        def miss_rate(slo_name: str) -> float:
+            return next((row["miss_rate"]
+                         for row in service_report.slo_breakdown
+                         if row["slo"] == slo_name), 0.0)
+
         return StoreReport(
             policy=self.service.policy.name,
             duration_ns=duration_ns if duration_ns is not None
@@ -322,7 +359,11 @@ class CompressedBlockStore:
             live_bytes=self.blockmap.live_bytes,
             garbage_bytes=self.blockmap.garbage_bytes,
             physical_bytes=self.blockmap.physical_bytes,
-            service=self.service.report(duration_ns=duration_ns),
+            read_slo=self.read_slo.name,
+            write_slo=self.write_slo.name,
+            read_miss_rate=miss_rate(self.read_slo.name),
+            write_miss_rate=miss_rate(self.write_slo.name),
+            service=service_report,
         )
 
 
@@ -339,6 +380,8 @@ def run_block_store(
         batch_size: int = 4,
         batch_timeout_ns: float | None = 20_000.0,
         queue_limit: int | None = None,
+        pending_limit: int | None = None,
+        reconfigure: Callable[[OffloadService], None] | None = None,
         **store_kwargs) -> StoreReport:
     """One-call store run: build fleet + store, drive the stream, report.
 
@@ -346,6 +389,10 @@ def run_block_store(
     :func:`~repro.service.model.calibrated_ops`) so the read path is
     priced by decompress-calibrated models; bare devices calibrate both
     ops on demand.  The block map is preloaded so every read resolves.
+
+    ``reconfigure`` (if given) runs with the built service before the
+    simulation starts — the hook for scheduling mid-run fleet events
+    through a :class:`~repro.service.control.FleetController`.
     """
     sim = Simulator()
     members, spill_member = build_fleet(
@@ -358,13 +405,16 @@ def run_block_store(
     )
     service = OffloadService(sim, members, policy,
                              admission=admission,
-                             spill_device=spill_member)
+                             spill_device=spill_member,
+                             pending_limit=pending_limit)
     cache = BlockCache(cache_blocks, ghost_blocks)
     store = CompressedBlockStore(sim, service, cache,
                                  block_bytes=stream.block_bytes,
                                  **store_kwargs)
     store.load(stream.blocks, ratio_range=stream.ratio_range,
                seed=stream.seed + 2)
+    if reconfigure is not None:
+        reconfigure(service)
     store.drive(stream)
     sim.run()
     return store.report(duration_ns=stream.duration_ns)

@@ -10,7 +10,7 @@ CV > 50%; DP-CSD's per-VF fair scheduling holds CV < 0.5%.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Generator
 
 from repro.devices.sriov import ArbitrationPolicy, VfConfig

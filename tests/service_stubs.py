@@ -1,0 +1,41 @@
+"""Shared stub devices and synthetic cost models for service tests.
+
+Timing comes entirely from :class:`DeviceCostModel` instances built
+here, so scheduler/control scenarios are deterministic and wall-clock
+free; the real calibrated fleet only appears in the integration tests
+that need it.
+"""
+
+from repro.hw.engine import CdpuDevice, Placement
+from repro.service import DeviceCostModel, FleetDevice, RatioAnchor
+
+
+class StubDevice(CdpuDevice):
+    """Placement/engine shell; timing comes from a synthetic model."""
+
+    def __init__(self, name="stub", placement=Placement.PERIPHERAL,
+                 engines=1, queue_depth=1024):
+        self.name = name
+        self.placement = placement
+        self.engine_count = engines
+        self.queue_depth = queue_depth
+
+
+def flat_model(engine_per_byte_ns=0.01, submit_ns=0.0, pre_ns=0.0,
+               post_ns=0.0):
+    """Cost model with no size/ratio structure beyond a linear engine."""
+    return DeviceCostModel(
+        anchors=[RatioAnchor(ratio=1.0, overhead_ns=0.0,
+                             per_byte_ns=engine_per_byte_ns)],
+        submit_ns=submit_ns,
+        pre_overhead_ns=pre_ns,
+        post_overhead_ns=post_ns,
+    )
+
+
+def make_fleet(sim, count=2, per_byte=(0.01, 0.1), **kwargs):
+    return [
+        FleetDevice(sim, StubDevice(name=f"dev{i}"),
+                    flat_model(engine_per_byte_ns=per_byte[i]), **kwargs)
+        for i in range(count)
+    ]

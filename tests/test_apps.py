@@ -1,6 +1,5 @@
 """LSM store and filesystem substrate tests."""
 
-import random
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Controller SoC, profiling and CLI coverage."""
 
-import pytest
 
 from repro.experiments.cli import main as cli_main
 from repro.hw.dpzip import DpzipEngine

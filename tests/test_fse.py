@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import fse
 from repro.core.bitio import BitReader, BitWriter
-from repro.errors import CompressionError, DecompressionError
+from repro.errors import CompressionError
 
 
 class TestNormalization:

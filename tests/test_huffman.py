@@ -9,7 +9,7 @@ from repro.errors import CompressionError
 
 
 def _kraft(lengths, max_bits):
-    return sum((1 << (max_bits - l)) for l in lengths if l)
+    return sum((1 << (max_bits - length)) for length in lengths if length)
 
 
 class TestBuildCodeLengths:
@@ -31,7 +31,7 @@ class TestBuildCodeLengths:
 
     def test_uniform_256_gives_8_bits(self):
         lengths = huffman.build_code_lengths([7] * 256)
-        assert all(l == 8 for l in lengths)
+        assert all(length == 8 for length in lengths)
 
     def test_kraft_equality_for_optimal_tree(self):
         freqs = [5, 9, 12, 13, 16, 45]

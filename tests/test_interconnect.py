@@ -9,7 +9,6 @@ from repro.experiments.paper_targets import (
 from repro.interconnect import (
     AxiPath,
     DdioPath,
-    PcieLink,
     PcieLinkSpec,
     dpcsd_link,
     qat8970_link,

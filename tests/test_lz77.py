@@ -11,7 +11,7 @@ from repro.core.lz77 import (
     DpzipLz77Encoder,
     RECENT_BUFFER_BYTES,
 )
-from repro.core.tokens import MIN_MATCH, Sequence, TokenStream, reconstruct
+from repro.core.tokens import Sequence, TokenStream, reconstruct
 from repro.errors import CompressionError
 
 

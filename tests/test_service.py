@@ -7,8 +7,9 @@ one integration test calibrates the real mixed fleet.
 
 import pytest
 
+from service_stubs import StubDevice, flat_model, make_fleet
 from repro.errors import ServiceError
-from repro.hw.engine import CdpuDevice, Placement
+from repro.hw.engine import Placement
 from repro.service import (
     AdmissionController,
     AdmissionDecision,
@@ -19,6 +20,7 @@ from repro.service import (
     OffloadService,
     OpenLoopStream,
     RatioAnchor,
+    StaticPinning,
     calibrated,
     calibrated_ops,
     default_fleet,
@@ -26,37 +28,6 @@ from repro.service import (
     run_offload_service,
 )
 from repro.sim.engine import Simulator
-
-
-class StubDevice(CdpuDevice):
-    """Placement/engine shell; timing comes from a synthetic model."""
-
-    def __init__(self, name="stub", placement=Placement.PERIPHERAL,
-                 engines=1, queue_depth=1024):
-        self.name = name
-        self.placement = placement
-        self.engine_count = engines
-        self.queue_depth = queue_depth
-
-
-def flat_model(engine_per_byte_ns=0.01, submit_ns=0.0, pre_ns=0.0,
-               post_ns=0.0):
-    """Cost model with no size/ratio structure beyond a linear engine."""
-    return DeviceCostModel(
-        anchors=[RatioAnchor(ratio=1.0, overhead_ns=0.0,
-                             per_byte_ns=engine_per_byte_ns)],
-        submit_ns=submit_ns,
-        pre_overhead_ns=pre_ns,
-        post_overhead_ns=post_ns,
-    )
-
-
-def make_fleet(sim, count=2, per_byte=(0.01, 0.1), **kwargs):
-    return [
-        FleetDevice(sim, StubDevice(name=f"dev{i}"),
-                    flat_model(engine_per_byte_ns=per_byte[i]), **kwargs)
-        for i in range(count)
-    ]
 
 
 def request(tenant=0, nbytes=1000, ratio=1.0):
@@ -239,9 +210,50 @@ class TestPolicies:
             device.enqueue(request())
         assert make_policy("cost-model").select(request(), fleet) is None
 
+    def test_static_pinning_explicit_mapping_honored(self):
+        sim = Simulator()
+        fleet = make_fleet(sim)
+        policy = StaticPinning(mapping={7: 1, 9: 0})
+        assert policy.select(request(tenant=7), fleet) is fleet[1]
+        assert policy.select(request(tenant=9), fleet) is fleet[0]
+
+    def test_static_pinning_rejects_unmapped_tenant(self):
+        # An explicit mapping must not silently fall back to the
+        # modulo default for tenants it never mentions.
+        sim = Simulator()
+        fleet = make_fleet(sim)
+        policy = StaticPinning(mapping={7: 1})
+        with pytest.raises(ServiceError, match="tenant 3"):
+            policy.select(request(tenant=3), fleet)
+
+    def test_static_pinning_rejects_out_of_range_index(self):
+        # After an unplug shrinks the online fleet, a stale index must
+        # raise rather than silently wrap onto an arbitrary survivor.
+        sim = Simulator()
+        fleet = make_fleet(sim)
+        policy = StaticPinning(mapping={0: 5})
+        with pytest.raises(ServiceError, match="index 5"):
+            policy.select(request(tenant=0), fleet)
+
+    def test_static_pinning_by_device_name(self):
+        # Name pins survive fleet reconfiguration; a pinned device
+        # that is not online declines instead of re-pinning.
+        sim = Simulator()
+        fleet = make_fleet(sim)
+        policy = StaticPinning(mapping={0: "dev1"})
+        assert policy.select(request(tenant=0), fleet) is fleet[1]
+        assert policy.select(request(tenant=0), fleet[:1]) is None
+
     def test_unknown_policy_rejected(self):
-        with pytest.raises(ServiceError):
+        with pytest.raises(ServiceError) as excinfo:
             make_policy("coin-flip")
+        # The lookup error doubles as a ValueError and names every
+        # valid policy string.
+        assert isinstance(excinfo.value, ValueError)
+        message = str(excinfo.value)
+        for name in ("static", "round-robin", "shortest-queue",
+                     "cost-model", "deadline"):
+            assert name in message
 
 
 class TestBatching:
@@ -343,6 +355,35 @@ class TestBackpressure:
                       for row in service.report().breakdown}
         assert "cpu" in placements
 
+    def test_every_device_saturated_spills_to_cpu(self):
+        # The whole fleet (not just the pinned device) at its queue
+        # limit: cost-model dispatch has no candidate left and the
+        # CPU-spill valve takes the overflow.
+        sim = Simulator()
+        fleet = make_fleet(sim, queue_limit=1)
+        spill = FleetDevice(
+            sim, StubDevice(name="cpu", placement=Placement.CPU_SOFTWARE),
+            flat_model(engine_per_byte_ns=0.5), queue_limit=8)
+        service = OffloadService(sim, fleet, policy="cost-model",
+                                 spill_device=spill)
+        outcomes = [service.submit(request()) for _ in range(4)]
+        assert outcomes == ["admitted", "admitted", "spilled", "spilled"]
+        sim.run()
+        assert service.metrics.completed == 4
+        assert spill.completed == 2
+
+    def test_saturated_spill_valve_sheds(self):
+        sim = Simulator()
+        fleet = make_fleet(sim, queue_limit=1)
+        spill = FleetDevice(
+            sim, StubDevice(name="cpu", placement=Placement.CPU_SOFTWARE),
+            flat_model(engine_per_byte_ns=0.5), queue_limit=1)
+        service = OffloadService(sim, fleet, policy="cost-model",
+                                 spill_device=spill)
+        outcomes = [service.submit(request()) for _ in range(4)]
+        assert outcomes == ["admitted", "admitted", "spilled", "shed"]
+        assert service.metrics.shed == 1
+
 
 class TestAdmission:
     def test_thresholds_validate(self):
@@ -419,6 +460,39 @@ class TestAdmission:
         assert controller.decide(0.0) is AdmissionDecision.ADMIT
         assert controller.decide(1.0) is AdmissionDecision.SHED
         assert controller.decide(0.0) is AdmissionDecision.ADMIT
+
+    def test_reset_clears_ewma_state(self):
+        controller = AdmissionController(spill_threshold=0.4,
+                                         shed_threshold=0.8,
+                                         ewma_alpha=0.5)
+        assert controller.decide(1.0) is AdmissionDecision.SHED
+        assert controller.decide(0.0) is AdmissionDecision.SPILL   # 0.50
+        controller.reset()
+        # The first post-reset sample primes afresh instead of
+        # blending with the previous run's saturation level.
+        assert controller.decide(0.0) is AdmissionDecision.ADMIT
+        assert controller.smoothed == 0.0
+        assert controller.decide(1.0) is AdmissionDecision.SPILL   # 0.50
+
+    def test_reset_then_identical_samples_reproduce_decisions(self):
+        controller = AdmissionController(spill_threshold=0.5,
+                                         shed_threshold=0.9,
+                                         ewma_alpha=0.2)
+        samples = (0.0, 1.0, 1.0, 1.0, 0.3)
+        first = [controller.decide(s) for s in samples]
+        controller.reset()
+        second = [controller.decide(s) for s in samples]
+        assert first == second
+
+    def test_service_constructor_resets_shared_controller(self):
+        controller = AdmissionController(spill_threshold=0.5,
+                                         shed_threshold=0.9,
+                                         ewma_alpha=0.2)
+        controller.observe(1.0)  # saturated by a previous sweep run
+        sim = Simulator()
+        OffloadService(sim, make_fleet(sim), policy="cost-model",
+                       admission=controller)
+        assert controller.smoothed == 0.0
 
 
 class TestOpenLoopService:

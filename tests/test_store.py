@@ -9,14 +9,14 @@ different placement mix than compress traffic.
 
 import pytest
 
+from service_stubs import StubDevice, flat_model
 from repro.errors import StoreError, WorkloadError
-from repro.hw.engine import CdpuDevice, Placement
+from repro.hw.engine import Placement
 from repro.service import (
     AdmissionController,
-    DeviceCostModel,
     FleetDevice,
     OffloadService,
-    RatioAnchor,
+    SloClass,
     calibrated_ops,
     default_fleet,
 )
@@ -28,23 +28,6 @@ from repro.store import (
     run_block_store,
 )
 from repro.workloads import MixedStream, StoreOp
-
-
-class StubDevice(CdpuDevice):
-    """Placement/engine shell; timing comes from synthetic models."""
-
-    def __init__(self, name="stub", placement=Placement.PERIPHERAL,
-                 engines=1, queue_depth=1024):
-        self.name = name
-        self.placement = placement
-        self.engine_count = engines
-        self.queue_depth = queue_depth
-
-
-def flat_model(engine_per_byte_ns=0.01):
-    return DeviceCostModel(
-        anchors=[RatioAnchor(ratio=1.0, overhead_ns=0.0,
-                             per_byte_ns=engine_per_byte_ns)])
 
 
 def op_models(read_per_byte=0.01, write_per_byte=0.02):
@@ -339,6 +322,65 @@ class TestRunBlockStore:
         row = report.row()
         assert {"policy", "read_gbps", "hit_rate", "read_p99_us"} <= set(row)
         assert all(not isinstance(v, (list, dict)) for v in row.values())
+
+
+class TestStoreSloClasses:
+    def test_reads_and_writes_carry_distinct_slo_classes(self):
+        sim = Simulator()
+        store = make_store(sim, cache_blocks=0)
+        store.load(4)
+        store.put(0, tenant=0, ratio=0.5)
+        store.get(1, tenant=0)
+        sim.run()
+        report = store.report()
+        assert report.read_slo == "interactive"
+        assert report.write_slo == "throughput"
+        assert report.service is not None
+        classes = {row["slo"] for row in report.service.slo_breakdown}
+        assert classes == {"interactive", "throughput"}
+
+    def test_custom_slo_classes_override_defaults(self):
+        sim = Simulator()
+        gold = SloClass("gold", tier=0, deadline_ns=1e9)
+        bulk = SloClass("bulk", tier=3, deadline_ns=1e9)
+        store = make_store(sim, cache_blocks=0, read_slo=gold,
+                           write_slo=bulk)
+        store.load(4)
+        store.put(0, tenant=0, ratio=0.5)
+        store.get(1, tenant=0)
+        sim.run()
+        report = store.report()
+        assert report.read_slo == "gold"
+        assert report.write_slo == "bulk"
+        assert report.read_miss_rate == 0.0
+        assert report.write_miss_rate == 0.0
+
+    def test_foreground_reads_overtake_queued_background_writes(self):
+        # One serial device, SLO-aware scheduling: a GET arriving after
+        # two parked PUTs still decompresses first, because foreground
+        # reads outrank background packing in the pending queue.
+        sim = Simulator()
+        fleet = [FleetDevice(sim, StubDevice(), op_models(0.5, 0.5),
+                             queue_limit=1, batch_size=1)]
+        service = OffloadService(sim, fleet, policy="deadline")
+        store = CompressedBlockStore(
+            sim, service, BlockCache(0), block_bytes=1000,
+            hit_overhead_ns=100.0, hit_per_byte_ns=0.0,
+            media_overhead_ns=0.0, media_per_byte_ns=0.0)
+        store.load(8)
+        store.put(0, tenant=0, ratio=0.5)        # occupies the device
+        store.put(1, tenant=0, ratio=0.5)        # parked, tier 1
+        store.put(2, tenant=0, ratio=0.5)        # parked, tier 1
+        assert store.get(3, tenant=0) == "miss"  # tier 0
+        sim.run()
+        assert store.metrics.failed_reads == 0
+        read_latency = store.metrics.miss_latency.samples[0]
+        write_latencies = sorted(store.metrics.write_latency.samples)
+        # Only the already-in-flight write finished ahead of the read;
+        # both parked writes completed after it.
+        assert read_latency < write_latencies[-1]
+        assert read_latency < write_latencies[-2]
+        assert read_latency > write_latencies[0]
 
 
 class TestMixedFleetIntegration:

@@ -1,6 +1,5 @@
 """Workload-generator tests: entropy control, corpus, YCSB, zipf, FIO."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st
