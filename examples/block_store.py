@@ -1,29 +1,45 @@
 #!/usr/bin/env python3
-"""Compressed block store demo: mixed GET/PUT over the CDPU fleet.
+"""Compressed block store demo: mixed GET/PUT over a declared cluster.
 
-Serves a read-dominated Zipfian stream against the compressed block
-store at three decompressed-block cache sizes, then shows where the
-cost-model policy placed decompress vs compress traffic — the read
-path prefers a different device mix than the write path because each
-device's decompress calibration disagrees with its compress one.
+Declares the cluster once — mixed fleet, snappy spill reserve, and a
+block-store tier — and serves a read-dominated Zipfian stream through
+`Cluster.from_spec(...)` at three decompressed-block cache sizes, then
+shows where the cost-model policy placed decompress vs compress
+traffic — the read path prefers a different device mix than the write
+path because each device's decompress calibration disagrees with its
+compress one.
 
 Run:  python examples/block_store.py
 """
 
-from repro.hw.cpu import CpuSoftwareDevice
+from dataclasses import replace
+
+from repro.cluster import (
+    Cluster,
+    ClusterSpec,
+    DeviceSpec,
+    FleetSpec,
+    StoreSpec,
+)
 from repro.profiling import format_table
-from repro.service import calibrated_ops, default_fleet
-from repro.store import run_block_store
 from repro.workloads import MixedStream
 
 CACHE_SIZES = (0, 64, 256)
 
+BASE_SPEC = ClusterSpec(
+    fleet=FleetSpec(
+        devices=(DeviceSpec("cpu"), DeviceSpec("qat8970"),
+                 DeviceSpec("qat4xxx"), DeviceSpec("dpzip")),
+        spill=DeviceSpec("cpu", algorithm="snappy", threads=16),
+        ops=("compress", "decompress"),
+    ),
+    store=StoreSpec(block_bytes=65536),
+)
+
 
 def main() -> None:
     print("Calibrating per-op device cost models "
-          "(runs the real codecs once per op)...")
-    fleet = calibrated_ops(default_fleet())
-    spill = calibrated_ops([CpuSoftwareDevice("snappy", threads=16)])[0]
+          "(runs the real codecs once per op; cached across runs)...")
     stream = MixedStream(offered_gbps=36.0, duration_ns=4e6,
                          read_fraction=0.8, blocks=512,
                          block_bytes=65536, tenants=8, seed=11)
@@ -31,8 +47,12 @@ def main() -> None:
     rows = []
     reports = {}
     for cache_blocks in CACHE_SIZES:
-        report = run_block_store(stream, policy="cost-model", fleet=fleet,
-                                 spill=spill, cache_blocks=cache_blocks)
+        spec = replace(BASE_SPEC,
+                       store=replace(BASE_SPEC.store,
+                                     cache_blocks=cache_blocks))
+        cluster = Cluster.from_spec(spec)
+        cluster.store_client(stream)
+        report = cluster.run().store
         reports[cache_blocks] = report
         row = report.row()
         row["cache_blocks"] = cache_blocks

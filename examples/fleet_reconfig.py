@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Fleet reconfiguration demo: unplug a QAT device mid-run.
 
-Runs the SLO-aware offload service twice over the same open-loop
-stream — once with a healthy fleet, once unplugging the peripheral
-QAT 8970 a third of the way through — and shows the control plane
-adapting while the data plane keeps serving:
+Runs the SLO-aware offload cluster twice over the same open-loop
+stream — once with a healthy fleet, once with a declarative
+`ReconfigEvent` yanking the peripheral QAT 8970 a third of the way
+through — and shows the control plane adapting while the data plane
+keeps serving:
 
 * placement shifts onto the surviving devices (per-device table);
 * admission reacts to the lost capacity (spill/shed counts rise);
@@ -14,77 +15,81 @@ adapting while the data plane keeps serving:
 Run:  python examples/fleet_reconfig.py
 """
 
-from repro.experiments.slo_degradation import BATCH_4MS, INTERACTIVE_150US
-from repro.hw.cpu import CpuSoftwareDevice
-from repro.profiling import format_table
-from repro.service import (
-    AdmissionController,
-    FleetController,
-    OpenLoopStream,
-    calibrated,
-    default_fleet,
-    run_offload_service,
+from dataclasses import replace
+
+from repro.cluster import (
+    AdmissionSpec,
+    Cluster,
+    ClusterSpec,
+    DeviceSpec,
+    FleetSpec,
+    ReconfigEvent,
 )
+from repro.experiments.slo_degradation import BATCH_4MS, INTERACTIVE_150US
+from repro.profiling import format_table
+from repro.service import OpenLoopStream
 
 DURATION_NS = 3e6
 UNPLUG_AT_NS = DURATION_NS / 3
 
+BASE_SPEC = ClusterSpec(
+    fleet=FleetSpec(
+        devices=(DeviceSpec("cpu"), DeviceSpec("qat8970"),
+                 DeviceSpec("qat4xxx"), DeviceSpec("dpzip")),
+        spill=DeviceSpec("cpu", algorithm="snappy", threads=16),
+        queue_limit=8,
+    ),
+    policy="deadline",
+    admission=AdmissionSpec(spill_threshold=0.80, shed_threshold=0.97,
+                            ewma_alpha=0.3),
+)
+
+UNPLUG = ReconfigEvent(at_ns=UNPLUG_AT_NS, action="unplug",
+                       device="qat8970", drain=False)
+
 
 def main() -> None:
-    print("Calibrating device cost models (runs the real codecs once)...")
-    fleet = calibrated(default_fleet())
-    spill = calibrated([CpuSoftwareDevice("snappy", threads=16)])[0]
+    print("Calibrating device cost models (runs the real codecs once; "
+          "cached across runs)...")
     stream = OpenLoopStream(offered_gbps=36.0, duration_ns=DURATION_NS,
                             tenants=8, seed=7,
                             slo_mix=((INTERACTIVE_150US, 0.3),
                                      (BATCH_4MS, 0.7)))
-    admission = AdmissionController(spill_threshold=0.80,
-                                    shed_threshold=0.97,
-                                    ewma_alpha=0.3)
 
-    events = []
+    results = {}
+    events = {}
+    for label, reconfig in (("healthy", ()), ("unplugged", (UNPLUG,))):
+        cluster = Cluster.from_spec(replace(BASE_SPEC, reconfig=reconfig))
+        cluster.open_loop(stream)
+        results[label] = cluster.run()
+        events[label] = cluster.controller.events
 
-    def unplug_mid_run(service):
-        controller = FleetController(service)
-        controller.at(UNPLUG_AT_NS,
-                      lambda: controller.unplug("qat8970", drain=False))
-        events.append(controller.events)
-
-    reports = {}
-    for label, reconfigure in (("healthy", None),
-                               ("unplugged", unplug_mid_run)):
-        reports[label] = run_offload_service(
-            stream, policy="deadline", fleet=fleet, spill=spill,
-            admission=admission, queue_limit=8, reconfigure=reconfigure)
-
-    print(f"\nDeadline-aware service at {stream.offered_gbps:.0f} GB/s "
+    print(f"\nDeadline-aware cluster at {stream.offered_gbps:.0f} GB/s "
           f"offered; qat8970 yanked at "
           f"{UNPLUG_AT_NS / 1e6:.0f} ms into the {DURATION_NS / 1e6:.0f} ms "
           f"run:\n")
     rows = []
-    for label, report in reports.items():
-        row = report.row()
-        row["run"] = label
-        row["migrated"] = report.migrated
-        rows.append({"run": row["run"], **{k: v for k, v in row.items()
-                                           if k != "run"}})
+    for label, result in results.items():
+        row = result.row()
+        row["migrated"] = result.service.migrated
+        rows.append({"run": label, **row})
     print(format_table(rows, floatfmt=".2f"))
 
     print("\nController event log (unplugged run):\n")
-    for time_ns, action, device, detail in events[-1]:
+    for time_ns, action, device, detail in events["unplugged"]:
         print(f"  t={time_ns / 1e6:6.3f} ms  {action:<9} {device:<8} "
               f"{detail}")
 
     print("\nPer-device view — placement adapts around the dead QAT:\n")
-    for label, report in reports.items():
+    for label, result in results.items():
         print(f"[{label}]")
-        print(format_table(report.per_device, floatfmt=".2f"))
+        print(format_table(result.service.per_device, floatfmt=".2f"))
         print()
 
     print("Per-SLO-class outcome — batch absorbs the lost capacity:\n")
-    for label, report in reports.items():
+    for label, result in results.items():
         print(f"[{label}]")
-        print(format_table(report.slo_breakdown, floatfmt=".3f"))
+        print(format_table(result.slo_breakdown, floatfmt=".3f"))
         print()
 
 

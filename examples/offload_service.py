@@ -1,51 +1,61 @@
 #!/usr/bin/env python3
-"""Offload service demo: one fleet, four dispatch policies.
+"""Offload service demo: one declarative cluster, four policies.
 
-Runs the compression offload service over a mixed fleet — one device
-per placement of the paper's Figure 1 (CPU software, peripheral
-QAT 8970, on-chip QAT 4xxx, in-storage DPZip) — and compares the four
-dispatch policies at the same open-loop offered load, then shows the
-per-tenant/per-placement latency breakdown for the cost-model policy.
+Declares the serving cluster once as a `ClusterSpec` — a mixed fleet
+with one device per placement of the paper's Figure 1 (CPU software,
+peripheral QAT 8970, on-chip QAT 4xxx, in-storage DPZip), a snappy CPU
+spill reserve and EWMA admission — then serves the same open-loop
+stream through `Cluster.from_spec(...)` once per dispatch policy, and
+shows the per-tenant/per-placement latency breakdown for the
+cost-model policy.
 
 Run:  python examples/offload_service.py
 """
 
-from repro.hw.cpu import CpuSoftwareDevice
-from repro.profiling import format_table
-from repro.service import (
-    AdmissionController,
-    OpenLoopStream,
-    calibrated,
-    default_fleet,
-    run_offload_service,
+from dataclasses import replace
+
+from repro.cluster import (
+    AdmissionSpec,
+    Cluster,
+    ClusterSpec,
+    DeviceSpec,
+    FleetSpec,
 )
+from repro.profiling import format_table
+from repro.service import OpenLoopStream
 
 POLICIES = ("static", "round-robin", "shortest-queue", "cost-model")
 
+BASE_SPEC = ClusterSpec(
+    fleet=FleetSpec(
+        devices=(DeviceSpec("cpu"), DeviceSpec("qat8970"),
+                 DeviceSpec("qat4xxx"), DeviceSpec("dpzip")),
+        spill=DeviceSpec("cpu", algorithm="snappy", threads=16),
+    ),
+    admission=AdmissionSpec(spill_threshold=0.80, shed_threshold=0.97),
+)
+
 
 def main() -> None:
-    print("Calibrating device cost models (runs the real codecs once)...")
-    fleet = calibrated(default_fleet())
-    # Emergency spill valve: a small reserve of CPU threads on snappy.
-    spill = calibrated([CpuSoftwareDevice("snappy", threads=16)])[0]
+    print("Calibrating device cost models (runs the real codecs once; "
+          "cached across runs)...")
     stream = OpenLoopStream(offered_gbps=36.0, duration_ns=4e6,
                             tenants=8, seed=7)
-    admission = AdmissionController(spill_threshold=0.80,
-                                    shed_threshold=0.97)
 
     rows = []
-    reports = {}
+    results = {}
     for policy in POLICIES:
-        report = run_offload_service(stream, policy=policy, fleet=fleet,
-                                     spill=spill, admission=admission)
-        reports[policy] = report
-        rows.append(report.row())
+        cluster = Cluster.from_spec(replace(BASE_SPEC, policy=policy))
+        cluster.open_loop(stream)
+        result = cluster.run()
+        results[policy] = result
+        rows.append(result.row())
     print(f"\nPolicy comparison at {stream.offered_gbps:.0f} GB/s offered "
-          f"({reports[POLICIES[0]].offered} requests, "
+          f"({results[POLICIES[0]].service.offered} requests, "
           f"{stream.duration_ns / 1e6:.0f} ms virtual):\n")
     print(format_table(rows, floatfmt=".2f"))
 
-    best = reports["cost-model"]
+    best = results["cost-model"].service
     print("\nPer-tenant / per-placement p99 breakdown (cost-model):\n")
     print(format_table(best.breakdown, floatfmt=".1f"))
     print("\nPer-device view (cost-model):\n")

@@ -12,6 +12,10 @@ The package provides:
   and controller SoC;
 * :mod:`repro.apps` -- RocksDB-like LSM store and Btrfs/ZFS-like
   filesystems used for end-to-end evaluation;
+* :mod:`repro.cluster` -- the unified cluster API: declarative
+  serializable :class:`ClusterSpec`, the :class:`Cluster` session
+  façade, open-loop/closed-loop/store client handles and the unified
+  :class:`RunResult`;
 * :mod:`repro.service` -- the compression offload service: SLO-class
   scheduling, placement-aware dispatch, batching, admission control
   and dynamic fleet reconfiguration over a CDPU fleet;
@@ -24,6 +28,15 @@ The package provides:
 #: (PEP 562) so ``import repro`` stays free of the hw/codec import
 #: chain until a serving layer is actually used.
 _LAZY_EXPORTS = {
+    "ClosedLoopClient": "repro.cluster",
+    "Cluster": "repro.cluster",
+    "ClusterSpec": "repro.cluster",
+    "DeviceSpec": "repro.cluster",
+    "FleetSpec": "repro.cluster",
+    "OpenLoopClient": "repro.cluster",
+    "RunResult": "repro.cluster",
+    "StoreClient": "repro.cluster",
+    "default_cluster_spec": "repro.cluster",
     "AdmissionController": "repro.service",
     "DeviceCostModel": "repro.service",
     "FleetController": "repro.service",

@@ -1,0 +1,65 @@
+"""Unified cluster API: declarative specs, session façade, clients.
+
+The canonical entry point for every serving-layer scenario:
+
+>>> from repro.cluster import Cluster, default_cluster_spec
+>>> cluster = Cluster.from_spec(default_cluster_spec())
+>>> cluster.open_loop(offered_gbps=36.0, duration_ns=2e6)   # doctest: +SKIP
+>>> result = cluster.run()                                  # doctest: +SKIP
+
+A :class:`ClusterSpec` declares fleet composition, placement policy,
+admission/EWMA, SLO mix, block-store geometry, power budget and a
+reconfiguration schedule — and round-trips through JSON, so the same
+cluster an experiment sweeps can be checked into a config file and
+replayed with ``repro-experiment cluster --spec cluster.json``.  The
+:class:`Cluster` session owns the simulator and hands out client
+handles: open-loop streams, closed-loop windowed clients, and mixed
+GET/PUT store clients.  Every run returns one unified
+:class:`RunResult`.
+"""
+
+from repro.cluster.clients import (
+    ClosedLoopClient,
+    ClusterClient,
+    OpenLoopClient,
+    StoreClient,
+)
+from repro.cluster.result import RunResult
+from repro.cluster.session import Cluster, build_device, calibrated_models
+from repro.cluster.spec import (
+    CALIBRATED_OPS,
+    DEVICE_KINDS,
+    RECONFIG_ACTIONS,
+    AdmissionSpec,
+    ClusterSpec,
+    DeviceSpec,
+    FleetSpec,
+    ReconfigEvent,
+    SloShare,
+    SloSpec,
+    StoreSpec,
+    default_cluster_spec,
+)
+
+__all__ = [
+    "AdmissionSpec",
+    "CALIBRATED_OPS",
+    "ClosedLoopClient",
+    "Cluster",
+    "ClusterClient",
+    "ClusterSpec",
+    "DEVICE_KINDS",
+    "DeviceSpec",
+    "FleetSpec",
+    "OpenLoopClient",
+    "RECONFIG_ACTIONS",
+    "ReconfigEvent",
+    "RunResult",
+    "SloShare",
+    "SloSpec",
+    "StoreClient",
+    "StoreSpec",
+    "build_device",
+    "calibrated_models",
+    "default_cluster_spec",
+]

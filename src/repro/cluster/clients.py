@@ -1,0 +1,331 @@
+"""Client handles a :class:`~repro.cluster.session.Cluster` hands out.
+
+Three traffic shapes cover the serving regimes the paper's placements
+are evaluated under:
+
+* :class:`OpenLoopClient` — the arrival-rate-driven driver: requests
+  arrive on a Poisson clock regardless of how the fleet is coping (the
+  overload-revealing shape every sweep so far has used);
+* :class:`ClosedLoopClient` — connection-level flow control: each
+  client keeps at most ``window`` requests in flight and waits
+  ``think_ns`` after every completion before submitting the next, so
+  offered load *responds* to service latency the way a real
+  application threadpool does (the shape the ROADMAP's oldest open
+  item asked for);
+* :class:`StoreClient` — mixed GET/PUT traffic against the compressed
+  block-store tier, open-loop over a Zipfian block space.
+
+Every client keeps its own latency recorder and goodput window, so a
+run's :class:`~repro.cluster.result.RunResult` can report per-client
+rows next to the fleet-wide service/store reports.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Generator
+
+from repro.errors import ClusterError, StoreError
+from repro.service.offload import OffloadService
+from repro.service.request import (
+    BEST_EFFORT,
+    OffloadRequest,
+    OpenLoopStream,
+    SloClass,
+)
+from repro.sim.stats import LatencyRecorder
+from repro.store.store import CompressedBlockStore
+from repro.workloads.mixed import MixedStream
+
+
+class ClusterClient:
+    """Shared per-client accounting; subclasses drive the traffic."""
+
+    mode = "client"
+
+    def __init__(self, service: OffloadService, name: str,
+                 duration_ns: float) -> None:
+        if duration_ns <= 0:
+            raise ClusterError(f"client duration must be > 0, "
+                               f"got {duration_ns}")
+        self.service = service
+        self.sim = service.sim
+        self.name = name
+        self.duration_ns = duration_ns
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.completed_bytes = 0
+        #: Bytes completed inside this client's own duration window.
+        self.window_bytes = 0
+        self.latency = LatencyRecorder()
+        self._on_done = None
+
+    def start(self, on_done=None) -> None:
+        """Spawn this client's traffic processes on the simulator."""
+        self._on_done = on_done
+        self._spawn()
+
+    def _spawn(self) -> None:
+        raise NotImplementedError
+
+    def _done(self) -> None:
+        if self._on_done is not None:
+            self._on_done(self)
+
+    # -- completion accounting -------------------------------------------------
+
+    def _record_completion(self, request: OffloadRequest) -> None:
+        self.completed += 1
+        self.completed_bytes += request.nbytes
+        self.latency.record(self.sim.now - request.arrival_ns)
+        if self.sim.now <= self.duration_ns:
+            self.window_bytes += request.nbytes
+
+    @property
+    def goodput_gbps(self) -> float:
+        """Per-client goodput over the client's window (bytes/ns)."""
+        return self.window_bytes / self.duration_ns
+
+    def row(self) -> dict:
+        """Flat per-client row for the unified RunResult."""
+        summary = self.latency.summary_us()
+        return {
+            "client": self.name,
+            "mode": self.mode,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "goodput_gbps": self.goodput_gbps,
+            "p50_us": summary["p50_us"],
+            "p99_us": summary["p99_us"],
+        }
+
+
+class OpenLoopClient(ClusterClient):
+    """Drives an :class:`~repro.service.request.OpenLoopStream`.
+
+    Arrivals follow the stream's Poisson clock whether or not the fleet
+    keeps up — queueing delay and shedding are the signal, not a brake.
+    """
+
+    mode = "open-loop"
+
+    def __init__(self, service: OffloadService, stream: OpenLoopStream,
+                 name: str = "open-loop") -> None:
+        super().__init__(service, name, stream.duration_ns)
+        self.stream = stream
+
+    def _spawn(self) -> None:
+        self.sim.spawn(self._arrivals())
+
+    def _arrivals(self) -> Generator[Any, Any, None]:
+        stream = self.stream
+        rng = stream.rng()
+        while True:
+            yield self.sim.timeout(stream.next_gap_ns(rng))
+            if self.sim.now >= stream.duration_ns:
+                break
+            request = stream.make_request(rng)
+            self.submitted += 1
+            self.service.submit(
+                request,
+                on_complete=lambda req, dev, cost:
+                    self._record_completion(req),
+                on_drop=lambda req: self._drop(req),
+            )
+        self._done()
+
+    def _drop(self, request: OffloadRequest) -> None:
+        self.failed += 1
+
+
+class ClosedLoopClient(ClusterClient):
+    """Windowed flow control: at most ``window`` requests in flight.
+
+    The client models an application threadpool of ``window``
+    connections.  Each connection submits one request, waits for its
+    completion (or drop), thinks for ``think_ns``, and only then
+    submits the next — so in-flight never exceeds the window and
+    offered load self-throttles when the fleet slows down.  A dropped
+    request waits ``retry_backoff_ns`` instead of the think time
+    before the connection issues new work.  Per-client latency and
+    goodput come out of the shared :class:`ClusterClient` accounting.
+    """
+
+    mode = "closed-loop"
+
+    def __init__(self, service: OffloadService, *,
+                 window: int,
+                 duration_ns: float,
+                 think_ns: float = 0.0,
+                 retry_backoff_ns: float = 1_000.0,
+                 tenant: int = 0,
+                 request_sizes: tuple[int, ...] = (16384, 65536, 131072),
+                 ratio_range: tuple[float, float] = (0.30, 1.0),
+                 op: str = "compress",
+                 slo: SloClass = BEST_EFFORT,
+                 seed: int = 1234,
+                 name: str = "closed-loop") -> None:
+        super().__init__(service, name, duration_ns)
+        if window < 1:
+            raise ClusterError(f"{name}: window must be >= 1, got {window}")
+        if think_ns < 0:
+            raise ClusterError(f"{name}: think time must be >= 0, "
+                               f"got {think_ns}")
+        if retry_backoff_ns <= 0:
+            # A shed fires synchronously inside submit(); retrying with
+            # no backoff would spin the connection at one virtual
+            # instant forever when the fleet is saturated.
+            raise ClusterError(f"{name}: retry backoff must be > 0, "
+                               f"got {retry_backoff_ns}")
+        if not request_sizes:
+            raise ClusterError(f"{name}: need at least one request size")
+        self.window = window
+        self.think_ns = think_ns
+        self.retry_backoff_ns = retry_backoff_ns
+        self.tenant = tenant
+        self.request_sizes = tuple(request_sizes)
+        self.ratio_range = ratio_range
+        self.op = op
+        self.slo = slo
+        self.seed = seed
+        self.inflight = 0
+        self.peak_inflight = 0
+        self._live_connections = 0
+
+    def _spawn(self) -> None:
+        self._live_connections = self.window
+        for connection in range(self.window):
+            self.sim.spawn(self._connection(
+                random.Random(f"{self.seed}/{connection}/{self.name}")))
+
+    def _make_request(self, rng: random.Random) -> OffloadRequest:
+        low, high = self.ratio_range
+        return OffloadRequest(
+            tenant=self.tenant,
+            nbytes=rng.choice(self.request_sizes),
+            ratio=rng.uniform(low, high),
+            op=self.op,
+            slo=self.slo,
+        )
+
+    def _connection(self, rng: random.Random) -> Generator[Any, Any, None]:
+        while self.sim.now < self.duration_ns:
+            request = self._make_request(rng)
+            finished = self.sim.event()
+            self.submitted += 1
+            self.inflight += 1
+            self.peak_inflight = max(self.peak_inflight, self.inflight)
+            self.service.submit(
+                request,
+                on_complete=lambda req, dev, cost, finished=finished:
+                    self._complete(req, finished),
+                on_drop=lambda req, finished=finished:
+                    self._drop(req, finished),
+            )
+            outcome = yield finished
+            if outcome == "dropped":
+                # Back off before retrying a shed — a saturated fleet
+                # sheds synchronously, and an instant resubmit would
+                # freeze virtual time in a shed storm.
+                yield self.sim.timeout(self.retry_backoff_ns)
+            elif self.think_ns > 0:
+                yield self.sim.timeout(self.think_ns)
+        self._live_connections -= 1
+        if self._live_connections == 0:
+            self._done()
+
+    def _complete(self, request: OffloadRequest, finished) -> None:
+        self.inflight -= 1
+        self._record_completion(request)
+        finished.succeed("completed")
+
+    def _drop(self, request: OffloadRequest, finished) -> None:
+        self.inflight -= 1
+        self.failed += 1
+        finished.succeed("dropped")
+
+    def row(self) -> dict:
+        row = super().row()
+        row["window"] = self.window
+        row["peak_inflight"] = self.peak_inflight
+        return row
+
+
+class StoreClient(ClusterClient):
+    """Drives mixed GET/PUT traffic against the block-store tier.
+
+    Completion accounting lives in the store's own metrics (hit/miss
+    split, coalescing); the client row reports the op counts and the
+    store-level goodput for its window.
+    """
+
+    mode = "store"
+
+    def __init__(self, store: CompressedBlockStore, stream: MixedStream,
+                 name: str = "store", preload: bool = True) -> None:
+        super().__init__(store.service, name, stream.duration_ns)
+        if stream.block_bytes != store.block_bytes:
+            # StoreError, matching the store.drive() behaviour callers
+            # of the deprecated run_block_store shim already handle.
+            raise StoreError(
+                f"{name}: stream block size {stream.block_bytes} != "
+                f"store block size {store.block_bytes}"
+            )
+        self.store = store
+        self.stream = stream
+        self.preload = preload
+        self.reads = 0
+        self.writes = 0
+
+    def _spawn(self) -> None:
+        if self.preload and len(self.store.blockmap) == 0:
+            # Give every logical block an initial extent so reads
+            # always resolve (same seeding rule as run_block_store).
+            self.store.load(self.stream.blocks,
+                            ratio_range=self.stream.ratio_range,
+                            seed=self.stream.seed + 2)
+        # The measurement horizon on the store is owned by Cluster.run
+        # (the longest client duration), not reset per client.
+        self.sim.spawn(self._arrivals())
+
+    def _arrivals(self) -> Generator[Any, Any, None]:
+        stream = self.stream
+        rng = stream.rng()
+        keys = stream.key_generator()
+        while True:
+            yield self.sim.timeout(stream.next_gap_ns(rng))
+            if self.sim.now >= stream.duration_ns:
+                break
+            op = stream.make_op(rng, keys)
+            self.submitted += 1
+            if op.kind == "read":
+                self.reads += 1
+                self.store.get(op.block, op.tenant)
+            else:
+                self.writes += 1
+                self.store.put(op.block, op.tenant, op.ratio)
+        self._done()
+
+    @property
+    def goodput_gbps(self) -> float:
+        metrics = self.store.metrics
+        return ((metrics.window_read_bytes + metrics.window_write_bytes)
+                / self.duration_ns)
+
+    def row(self) -> dict:
+        summary = self.store.metrics.read_latency.summary_us()
+        return {
+            "client": self.name,
+            "mode": self.mode,
+            "submitted": self.submitted,
+            "completed": self.store.metrics.reads + self.store.metrics.writes
+            - self.store.metrics.failed_reads
+            - self.store.metrics.failed_writes,
+            "failed": (self.store.metrics.failed_reads
+                       + self.store.metrics.failed_writes),
+            "goodput_gbps": self.goodput_gbps,
+            "p50_us": summary["p50_us"],
+            "p99_us": summary["p99_us"],
+        }

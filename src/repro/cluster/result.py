@@ -1,0 +1,71 @@
+"""The unified per-run result schema.
+
+Every :meth:`~repro.cluster.session.Cluster.run` returns one
+:class:`RunResult`, whatever mix of clients drove the run — so
+experiments, examples and the CLI all tabulate the same row shape
+instead of choosing between :class:`~repro.service.offload.
+ServiceReport` and :class:`~repro.store.store.StoreReport` per call
+site.  The full reports stay attached for deep dives (placement
+breakdowns, SLO classes, cache stats); :meth:`RunResult.row` is the
+merged flat view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceError
+from repro.service.offload import ServiceReport
+from repro.store.store import StoreReport
+
+
+@dataclass
+class RunResult:
+    """One run's outcome: fleet-wide reports plus per-client rows."""
+
+    duration_ns: float
+    service: ServiceReport
+    store: StoreReport | None = None
+    #: One flat dict per client handle (mode, goodput, percentiles).
+    clients: list[dict] = field(default_factory=list)
+
+    # -- convenience views -----------------------------------------------------
+
+    @property
+    def policy(self) -> str:
+        return self.service.policy
+
+    @property
+    def completed_gbps(self) -> float:
+        """Fleet-wide goodput over the measurement window."""
+        return self.service.completed_gbps
+
+    @property
+    def slo_breakdown(self) -> list[dict]:
+        return self.service.slo_breakdown
+
+    def slo_miss_rate(self, slo_name: str) -> float:
+        return self.service.slo_miss_rate(slo_name)
+
+    def client(self, name: str) -> dict:
+        """The per-client row for one client handle by name."""
+        for row in self.clients:
+            if row["client"] == name:
+                return row
+        raise ServiceError(
+            f"no client named {name!r} in this run; clients: "
+            f"{[row['client'] for row in self.clients]}"
+        )
+
+    def row(self) -> dict:
+        """Merged flat row: service columns plus store columns if a
+        block-store tier served this run."""
+        merged = self.service.row()
+        if self.store is not None:
+            store_row = self.store.row()
+            store_row.pop("policy", None)
+            store_row.pop("failed", None)
+            merged.update(store_row)
+            merged["failed_io"] = (self.store.failed_reads
+                                   + self.store.failed_writes)
+        return merged

@@ -1,0 +1,322 @@
+"""The :class:`Cluster` session façade: one spec in, one result out.
+
+``Cluster.from_spec(spec)`` assembles the whole serving stack a
+:class:`~repro.cluster.spec.ClusterSpec` describes — simulator, fleet
+(with calibrated per-op cost models), scheduler core, admission,
+optional block-store tier, fleet controller with the reconfiguration
+schedule armed — and hands out client handles
+(:meth:`Cluster.open_loop`, :meth:`Cluster.closed_loop`,
+:meth:`Cluster.store_client`).  :meth:`Cluster.run` drives the
+simulation to completion and returns the unified
+:class:`~repro.cluster.result.RunResult`.
+
+Device cost-model calibration runs the real codecs, so it is by far
+the most expensive part of building a cluster; calibrated models are
+cached process-wide keyed by (device kind, parameters, op) — a sweep
+building hundreds of clusters from specs calibrates each distinct
+device exactly once, same as the old hand-wired experiments that
+hoisted ``calibrated(...)`` out of their loops.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ClusterError, ClusterSpecError
+from repro.hw.cpu import CpuSoftwareDevice
+from repro.hw.dpzip import DpzipEngine
+from repro.hw.engine import CdpuDevice
+from repro.hw.qat import Qat4xxx, Qat8970
+from repro.cluster.clients import (
+    ClosedLoopClient,
+    ClusterClient,
+    OpenLoopClient,
+    StoreClient,
+)
+from repro.cluster.result import RunResult
+from repro.cluster.spec import ClusterSpec, DeviceSpec
+from repro.service.admission import AdmissionController
+from repro.service.control import FleetController
+from repro.service.model import DeviceCostModel
+from repro.service.offload import OffloadService, build_fleet
+from repro.service.request import OpenLoopStream, SloClass
+from repro.sim.engine import Simulator
+from repro.store.cache import BlockCache
+from repro.store.store import CompressedBlockStore
+from repro.workloads.mixed import MixedStream
+
+#: Maps each declarable device kind to its hw-layer constructor.
+_DEVICE_BUILDERS: dict[str, Callable[[DeviceSpec], CdpuDevice]] = {
+    "cpu": lambda spec: CpuSoftwareDevice(spec.algorithm,
+                                          threads=spec.threads),
+    "qat8970": lambda spec: Qat8970(),
+    "qat4xxx": lambda spec: Qat4xxx(),
+    "dpzip": lambda spec: DpzipEngine(),
+}
+
+#: Process-wide calibration cache: (DeviceSpec.cache_key(), op) -> model.
+_MODEL_CACHE: dict[tuple, DeviceCostModel] = {}
+
+
+def build_device(spec: DeviceSpec) -> CdpuDevice:
+    """Construct the hw-layer device a :class:`DeviceSpec` names."""
+    builder = _DEVICE_BUILDERS.get(spec.kind)
+    if builder is None:
+        raise ClusterSpecError(
+            f"unknown device kind {spec.kind!r}; "
+            f"known: {sorted(_DEVICE_BUILDERS)}"
+        )
+    device = builder(spec)
+    if spec.name is not None:
+        device.name = spec.name
+    return device
+
+
+def calibrated_models(spec: DeviceSpec, device: CdpuDevice,
+                      ops: tuple[str, ...]) -> dict[str, DeviceCostModel]:
+    """Per-op cost models for ``device``, via the process-wide cache."""
+    models: dict[str, DeviceCostModel] = {}
+    for op in ops:
+        key = (spec.cache_key(), op)
+        model = _MODEL_CACHE.get(key)
+        if model is None:
+            model = DeviceCostModel.calibrate(device, op=op)
+            _MODEL_CACHE[key] = model
+        models[op] = model
+    return models
+
+
+class Cluster:
+    """A live serving cluster: simulator, fleet, scheduler, clients.
+
+    Build one from a spec (:meth:`from_spec`) or wrap pre-built parts
+    (the constructor) — the latter is what the deprecated
+    ``run_offload_service`` / ``run_block_store`` shims and the
+    stub-device unit tests use.  Attach one or more clients, then call
+    :meth:`run` exactly once.
+    """
+
+    def __init__(self, sim: Simulator, service: OffloadService,
+                 store: CompressedBlockStore | None = None,
+                 spec: ClusterSpec | None = None) -> None:
+        self.sim = sim
+        self.service = service
+        self.store = store
+        self.spec = spec
+        self.controller = FleetController(service)
+        self._clients: list[ClusterClient] = []
+        self._active_clients = 0
+        self._ran = False
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: ClusterSpec) -> "Cluster":
+        """Assemble simulator + fleet + scheduler (+ store) from a spec."""
+        sim = Simulator()
+        fleet_spec = spec.fleet
+        entries = []
+        for device_spec in fleet_spec.devices:
+            device = build_device(device_spec)
+            entries.append((device, calibrated_models(
+                device_spec, device, fleet_spec.ops)))
+        spill = None
+        if fleet_spec.spill is not None:
+            device = build_device(fleet_spec.spill)
+            spill = (device, calibrated_models(
+                fleet_spec.spill, device, fleet_spec.ops))
+        members, spill_member = build_fleet(
+            sim, entries, spill,
+            batch_size=fleet_spec.batch_size,
+            batch_timeout_ns=fleet_spec.batch_timeout_ns,
+            queue_limit=fleet_spec.queue_limit,
+            fair_share_tenants=fleet_spec.fair_share_tenants,
+        )
+        admission = None
+        if spec.admission is not None:
+            admission = AdmissionController(
+                spill_threshold=spec.admission.spill_threshold,
+                shed_threshold=spec.admission.shed_threshold,
+                ewma_alpha=spec.admission.ewma_alpha,
+            )
+        service = OffloadService(sim, members, spec.policy,
+                                 admission=admission,
+                                 spill_device=spill_member,
+                                 pending_limit=spec.pending_limit)
+        store = None
+        if spec.store is not None:
+            store_spec = spec.store
+            store = CompressedBlockStore(
+                sim, service,
+                BlockCache(store_spec.cache_blocks, store_spec.ghost_blocks),
+                block_bytes=store_spec.block_bytes,
+                segment_bytes=store_spec.segment_bytes,
+                read_slo=store_spec.read_slo.to_class(),
+                write_slo=store_spec.write_slo.to_class(),
+            )
+        cluster = cls(sim, service, store=store, spec=spec)
+        cluster._arm_reconfiguration(spec)
+        return cluster
+
+    @classmethod
+    def from_json(cls, text: str) -> "Cluster":
+        return cls.from_spec(ClusterSpec.from_json(text))
+
+    def _arm_reconfiguration(self, spec: ClusterSpec) -> None:
+        if spec.power_budget_w is not None:
+            self.controller.power_cap(spec.power_budget_w)
+        for event in spec.reconfig:
+            self.controller.at(event.at_ns, self._reconfig_action(event))
+
+    def _reconfig_action(self, event) -> Callable[[], Any]:
+        controller = self.controller
+        if event.action == "brown-out":
+            return lambda: controller.brown_out(event.device,
+                                                event.speed_factor)
+        if event.action == "restore":
+            return lambda: controller.restore(event.device)
+        if event.action == "unplug":
+            return lambda: controller.unplug(event.device, drain=event.drain)
+        return lambda: controller.power_cap(event.budget_w)
+
+    # -- stream defaults -------------------------------------------------------
+
+    def default_slo_mix(self) -> tuple[tuple[SloClass, float], ...] | None:
+        """The spec's SLO mix as live ``(class, weight)`` pairs."""
+        if self.spec is None or self.spec.slo_mix is None:
+            return None
+        return tuple((share.slo.to_class(), share.weight)
+                     for share in self.spec.slo_mix)
+
+    # -- client handles --------------------------------------------------------
+
+    def _attach(self, client: ClusterClient) -> ClusterClient:
+        if self._ran:
+            raise ClusterError(
+                "cluster already ran; build a new one for another run"
+            )
+        if any(existing.name == client.name for existing in self._clients):
+            raise ClusterError(f"duplicate client name {client.name!r}")
+        self._clients.append(client)
+        return client
+
+    def open_loop(self, stream: OpenLoopStream | None = None,
+                  name: str = "open-loop",
+                  **stream_kwargs) -> OpenLoopClient:
+        """Attach an open-loop client.
+
+        Pass a prebuilt :class:`OpenLoopStream`, or stream keyword
+        arguments (``offered_gbps``, ``duration_ns``, ...); the latter
+        default ``slo_mix`` to the spec's mix.
+        """
+        if stream is None:
+            stream_kwargs.setdefault("slo_mix", self.default_slo_mix())
+            stream = OpenLoopStream(**stream_kwargs)
+        elif stream_kwargs:
+            raise ClusterError(
+                "pass either a stream or stream kwargs, not both"
+            )
+        client = OpenLoopClient(self.service, stream, name=name)
+        self._attach(client)
+        return client
+
+    def closed_loop(self, *, window: int, duration_ns: float,
+                    think_ns: float = 0.0,
+                    name: str = "closed-loop",
+                    slo: SloClass | None = None,
+                    **client_kwargs) -> ClosedLoopClient:
+        """Attach a closed-loop client with an in-flight window."""
+        if slo is None:
+            mix = self.default_slo_mix()
+            # A single-entry spec mix is a class assignment; a larger
+            # mix keeps the client's own default (per-connection draws
+            # belong to the open-loop shape).
+            if mix is not None and len(mix) == 1:
+                slo = mix[0][0]
+        if slo is not None:
+            client_kwargs["slo"] = slo
+        client = ClosedLoopClient(self.service, window=window,
+                                  duration_ns=duration_ns,
+                                  think_ns=think_ns, name=name,
+                                  **client_kwargs)
+        self._attach(client)
+        return client
+
+    def store_client(self, stream: MixedStream | None = None,
+                     name: str = "store",
+                     **stream_kwargs) -> StoreClient:
+        """Attach a mixed GET/PUT client to the block-store tier."""
+        if self.store is None:
+            raise ClusterError(
+                "this cluster has no block-store tier; add a 'store' "
+                "section to the ClusterSpec"
+            )
+        if any(isinstance(client, StoreClient)
+               for client in self._clients):
+            # The store tier keeps one shared metrics block; a second
+            # client would report fleet-wide totals as its own row.
+            raise ClusterError(
+                "the store tier already has a client; drive mixed "
+                "traffic through one StoreClient per run"
+            )
+        if stream is None:
+            stream_kwargs.setdefault("block_bytes", self.store.block_bytes)
+            stream = MixedStream(**stream_kwargs)
+        elif stream_kwargs:
+            raise ClusterError(
+                "pass either a stream or stream kwargs, not both"
+            )
+        client = StoreClient(self.store, stream, name=name)
+        self._attach(client)
+        return client
+
+    # -- running ---------------------------------------------------------------
+
+    def _client_finished(self, client: ClusterClient) -> None:
+        self._active_clients -= 1
+        if self._active_clients == 0:
+            # The last arrival stream has ended: flush partial batches
+            # and arm drain mode so late dispatches keep flushing.
+            self.service.flush()
+
+    def run(self) -> RunResult:
+        """Drive every attached client to completion and report.
+
+        The measurement window (goodput accounting) is the longest
+        client duration; backlog drained after the last client stops
+        submitting completes but does not inflate goodput.
+        """
+        if self._ran:
+            raise ClusterError(
+                "cluster already ran; build a new one for another run"
+            )
+        if not self._clients:
+            raise ClusterError(
+                "no clients attached; call open_loop()/closed_loop()/"
+                "store_client() before run()"
+            )
+        self._ran = True
+        horizon = max(client.duration_ns for client in self._clients)
+        self.service.measure_until_ns = horizon
+        if self.store is not None:
+            self.store.measure_until_ns = horizon
+        self._active_clients = len(self._clients)
+        for client in self._clients:
+            client.start(on_done=self._client_finished)
+        self.sim.run()
+        # Defensive: a timer-less batch config can strand closed-loop
+        # windows on a partial batch; flush and keep running as long as
+        # it makes progress.
+        while self._active_clients > 0:
+            before = self.sim.now
+            self.service.flush()
+            self.sim.run()
+            if self.sim.now == before:
+                break
+        return RunResult(
+            duration_ns=horizon,
+            service=self.service.report(duration_ns=horizon),
+            store=(self.store.report(duration_ns=horizon)
+                   if self.store is not None else None),
+            clients=[client.row() for client in self._clients],
+        )

@@ -52,5 +52,25 @@ class PolicyLookupError(ServiceError, ValueError):
     """
 
 
+class FleetConfigError(ServiceError, ValueError):
+    """Raised on invalid fleet composition (duplicate device names,
+    non-positive queue depths).
+
+    Doubles as a :class:`ValueError` for the same reason as
+    :class:`PolicyLookupError`: fleet composition is user input.
+    """
+
+
+class ClusterError(ReproError):
+    """Raised on cluster-session misuse (no clients, missing store)."""
+
+
+class ClusterSpecError(ClusterError, ValueError):
+    """Raised when a :class:`~repro.cluster.ClusterSpec` (or a dict/JSON
+    document being deserialized into one) is invalid — unknown keys,
+    unknown device kinds, out-of-range parameters.
+    """
+
+
 class StoreError(ReproError):
     """Raised on block-store misuse (unmapped block, oversized write)."""

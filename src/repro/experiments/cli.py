@@ -3,10 +3,15 @@
 Runs the requested experiments (default: all) and prints their tables.
 ``--full`` switches off quick mode for paper-scale workloads.
 
-Three dedicated subcommands expose the serving-layer sweeps with
-tunable parameters (their registered ids run the same sweeps at
+Four dedicated subcommands expose the serving layer with tunable
+parameters (the sweeps' registered ids run the same sweeps at
 defaults):
 
+* ``repro-experiment cluster --spec cluster.json`` — one serving run
+  over a declarative :class:`~repro.cluster.ClusterSpec` document
+  (``--example-spec`` prints a starting point); open-loop,
+  closed-loop (``--closed-loop``) or store traffic depending on the
+  spec and flags;
 * ``repro-experiment service [options]`` — the compress-offload
   scaling sweep (offered load x fleet mix x dispatch policy);
 * ``repro-experiment store [options]`` — the compressed block-store
@@ -20,8 +25,89 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import ServiceError, StoreError, WorkloadError
+from repro.errors import ReproError
 from repro.experiments import REGISTRY, run_experiment
+
+
+def cluster_main(argv: list[str]) -> int:
+    """The ``cluster`` subcommand: one run over a ClusterSpec JSON."""
+    from repro.cluster import Cluster, ClusterSpec, default_cluster_spec
+    from repro.profiling import format_table
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment cluster",
+        description="Serve one run over a declarative cluster spec: "
+                    "open-loop by default, closed-loop windowed clients "
+                    "with --closed-loop, mixed GET/PUT store traffic "
+                    "when the spec has a store section.",
+    )
+    parser.add_argument("--spec", metavar="cluster.json",
+                        help="path to a ClusterSpec JSON document")
+    parser.add_argument("--example-spec", action="store_true",
+                        help="print a sample spec JSON and exit")
+    parser.add_argument("--with-store", action="store_true",
+                        help="include a block-store section in the "
+                             "--example-spec output")
+    parser.add_argument("--load-gbps", type=float, default=36.0,
+                        help="open-loop/store offered load in GB/s")
+    parser.add_argument("--duration-ms", type=float, default=2.0,
+                        help="virtual duration of the run")
+    parser.add_argument("--tenants", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--closed-loop", action="store_true",
+                        help="drive closed-loop windowed clients instead "
+                             "of an open-loop stream")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="number of closed-loop clients")
+    parser.add_argument("--window", type=int, default=8,
+                        help="per-client in-flight window")
+    parser.add_argument("--think-us", type=float, default=5.0,
+                        help="per-client think time between requests")
+    parser.add_argument("--read-fraction", type=float, default=0.8,
+                        help="store traffic read mix")
+    args = parser.parse_args(argv)
+    if args.example_spec:
+        print(default_cluster_spec(store=args.with_store).to_json())
+        return 0
+    if not args.spec:
+        print("repro-experiment cluster: error: --spec cluster.json is "
+              "required (or --example-spec for a starting point)",
+              file=sys.stderr)
+        return 2
+    duration_ns = args.duration_ms * 1e6
+    try:
+        with open(args.spec, encoding="utf-8") as handle:
+            spec = ClusterSpec.from_json(handle.read())
+        cluster = Cluster.from_spec(spec)
+        if spec.store is not None:
+            cluster.store_client(offered_gbps=args.load_gbps,
+                                 duration_ns=duration_ns,
+                                 read_fraction=args.read_fraction,
+                                 tenants=args.tenants, seed=args.seed)
+        elif args.closed_loop:
+            for index in range(args.clients):
+                cluster.closed_loop(window=args.window,
+                                    duration_ns=duration_ns,
+                                    think_ns=args.think_us * 1000.0,
+                                    tenant=index, seed=args.seed + index,
+                                    name=f"client{index}")
+        else:
+            cluster.open_loop(offered_gbps=args.load_gbps,
+                              duration_ns=duration_ns,
+                              tenants=args.tenants, seed=args.seed)
+        result = cluster.run()
+    except (OSError, ReproError) as error:
+        print(f"repro-experiment cluster: error: {error}", file=sys.stderr)
+        return 2
+    print(f"== cluster: policy={result.policy} "
+          f"duration={result.duration_ns / 1e6:g} ms ==")
+    print(format_table([result.row()], floatfmt=".2f"))
+    print("\nPer-client view:\n")
+    print(format_table(result.clients, floatfmt=".2f"))
+    if result.slo_breakdown:
+        print("\nPer-SLO-class view:\n")
+        print(format_table(result.slo_breakdown, floatfmt=".3f"))
+    return 0
 
 
 def service_main(argv: list[str]) -> int:
@@ -63,7 +149,7 @@ def service_main(argv: list[str]) -> int:
             seed=args.seed,
             spill=not args.no_spill,
         )
-    except ServiceError as error:
+    except ReproError as error:
         print(f"repro-experiment service: error: {error}", file=sys.stderr)
         return 2
     print(result.table())
@@ -119,7 +205,7 @@ def store_main(argv: list[str]) -> int:
             seed=args.seed,
             spill=not args.no_spill,
         )
-    except (ServiceError, WorkloadError, StoreError) as error:
+    except ReproError as error:
         print(f"repro-experiment store: error: {error}", file=sys.stderr)
         return 2
     print(result.table())
@@ -183,7 +269,7 @@ def slo_main(argv: list[str]) -> int:
             seed=args.seed,
             spill=args.spill,
         )
-    except ServiceError as error:
+    except ReproError as error:
         print(f"repro-experiment slo: error: {error}", file=sys.stderr)
         return 2
     print(result.table())
@@ -192,6 +278,8 @@ def slo_main(argv: list[str]) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "cluster":
+        return cluster_main(argv[1:])
     if argv and argv[0] == "service":
         return service_main(argv[1:])
     if argv and argv[0] == "store":
@@ -203,10 +291,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("names", nargs="*",
                         help="experiment ids (default: all), or the "
-                             "'service'/'store'/'slo' subcommands (see "
-                             "'repro-experiment service --help', "
-                             "'repro-experiment store --help' and "
-                             "'repro-experiment slo --help')")
+                             "'cluster'/'service'/'store'/'slo' "
+                             "subcommands (see e.g. "
+                             "'repro-experiment cluster --help')")
     parser.add_argument("--full", action="store_true",
                         help="paper-scale workloads instead of quick mode")
     parser.add_argument("--list", action="store_true",
@@ -217,7 +304,7 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
     names = args.names or sorted(REGISTRY)
-    for subcommand in ("service", "store", "slo"):
+    for subcommand in ("cluster", "service", "store", "slo"):
         if subcommand in names:
             # Flags placed before the subcommand land here; point at the
             # required ordering instead of "unknown experiment '...'".

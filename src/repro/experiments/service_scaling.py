@@ -7,29 +7,36 @@ sweep shows (a) all policies tie below saturation, (b) placement-aware
 cost-model dispatch sustains the highest goodput past saturation while
 placement-oblivious policies shed on their slowest member, and (c) tail
 latency separates the policies well before throughput does.
+
+Each run is declared as a :class:`~repro.cluster.ClusterSpec` and
+served through the :class:`~repro.cluster.Cluster` façade; calibrated
+cost models are cached process-wide, so the sweep calibrates each
+distinct device once.
 """
 
 from __future__ import annotations
 
+from repro.cluster import Cluster, ClusterSpec, DeviceSpec, FleetSpec
 from repro.errors import ServiceError
 from repro.experiments.common import ExperimentResult, register
-from repro.hw.cpu import CpuSoftwareDevice
-from repro.hw.dpzip import DpzipEngine
-from repro.hw.qat import Qat4xxx, Qat8970
-from repro.service import (
-    OpenLoopStream,
-    calibrated,
-    default_fleet,
-    run_offload_service,
-)
+from repro.service import OpenLoopStream
 
 DEFAULT_POLICIES = ("static", "round-robin", "shortest-queue", "cost-model")
 
-#: Fleet mixes by name; "mixed" is one device per placement column.
-MIXES = {
-    "mixed": default_fleet,
-    "asic": lambda: [Qat8970(), Qat4xxx(), DpzipEngine(), DpzipEngine()],
+#: Fleet mixes by name; "mixed" is one device per Figure 1 column.
+#: The two DPZip engines of the "asic" mix carry distinct names — the
+#: fleet builder rejects duplicate device names.
+MIXES: dict[str, tuple[DeviceSpec, ...]] = {
+    "mixed": (DeviceSpec("cpu"), DeviceSpec("qat8970"),
+              DeviceSpec("qat4xxx"), DeviceSpec("dpzip")),
+    "asic": (DeviceSpec("qat8970"), DeviceSpec("qat4xxx"),
+             DeviceSpec("dpzip", name="dpzip0"),
+             DeviceSpec("dpzip", name="dpzip1")),
 }
+
+#: The emergency spill valve: a small reserve of CPU threads running
+#: snappy, deliberately much smaller than the fleet it protects.
+SPILL = DeviceSpec("cpu", algorithm="snappy", threads=16)
 
 
 def run_sweep(loads_gbps: tuple[float, ...],
@@ -46,23 +53,24 @@ def run_sweep(loads_gbps: tuple[float, ...],
         notes="open-loop Poisson arrivals; spill device: cpu-snappy"
         if spill else "open-loop Poisson arrivals; no spill device",
     )
-    # The spill valve is an emergency reserve (16 CPU threads running
-    # snappy), deliberately much smaller than the fleet it protects.
-    spill_pair = (calibrated([CpuSoftwareDevice("snappy", threads=16)])[0]
-                  if spill else None)
     for mix_name in mixes:
         if mix_name not in MIXES:
             raise ServiceError(
                 f"unknown fleet mix {mix_name!r}; known: {sorted(MIXES)}"
             )
-        fleet = calibrated(MIXES[mix_name]())
         for load in loads_gbps:
             stream = OpenLoopStream(offered_gbps=load,
                                     duration_ns=duration_ns,
                                     tenants=tenants, seed=seed)
             for policy in policies:
-                report = run_offload_service(stream, policy=policy,
-                                             fleet=fleet, spill=spill_pair)
+                spec = ClusterSpec(
+                    fleet=FleetSpec(devices=MIXES[mix_name],
+                                    spill=SPILL if spill else None),
+                    policy=policy,
+                )
+                cluster = Cluster.from_spec(spec)
+                cluster.open_loop(stream)
+                report = cluster.run().service
                 result.rows.append({
                     "mix": mix_name,
                     "offered_gbps": load,

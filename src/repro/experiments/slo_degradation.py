@@ -8,21 +8,27 @@ the run — and compares the flat cost-model policy against the
 deadline-aware scheduler across SLO mixes: per-class deadline-miss
 rates show the flat policy spreading the pain evenly while the
 SLO-aware control plane concentrates it on the batch tier.
+
+The brown-out is no longer imperative wiring: each run's
+:class:`~repro.cluster.ClusterSpec` carries the derating as a
+declarative :class:`~repro.cluster.ReconfigEvent` in its
+reconfiguration schedule.
 """
 
 from __future__ import annotations
 
+from repro.cluster import (
+    Cluster,
+    ClusterSpec,
+    FleetSpec,
+    ReconfigEvent,
+    SloShare,
+    SloSpec,
+)
 from repro.errors import ServiceError
 from repro.experiments.common import ExperimentResult, register
-from repro.hw.cpu import CpuSoftwareDevice
-from repro.service import (
-    FleetController,
-    OpenLoopStream,
-    SloClass,
-    calibrated,
-    default_fleet,
-    run_offload_service,
-)
+from repro.experiments.service_scaling import MIXES, SPILL
+from repro.service import SloClass
 
 DEFAULT_POLICIES = ("cost-model", "deadline")
 
@@ -37,6 +43,11 @@ SLO_MIXES = {
     "fg-light": ((INTERACTIVE_150US, 0.15), (BATCH_4MS, 0.85)),
     "fg-heavy": ((INTERACTIVE_150US, 0.45), (BATCH_4MS, 0.55)),
 }
+
+
+def _slo_mix_spec(mix_name: str) -> tuple[SloShare, ...]:
+    return tuple(SloShare(slo=SloSpec.from_class(cls), weight=weight)
+                 for cls, weight in SLO_MIXES[mix_name])
 
 
 def run_sweep(brownout_fracs: tuple[float | None, ...] = (None, 0.33),
@@ -71,31 +82,32 @@ def run_sweep(brownout_fracs: tuple[float | None, ...] = (None, 0.33),
               + ("; spill device: cpu-snappy" if spill
                  else "; no spill device"),
     )
-    fleet = calibrated(default_fleet())
-    spill_pair = (calibrated([CpuSoftwareDevice("snappy", threads=16)])[0]
-                  if spill else None)
     for mix_name in mixes:
         if mix_name not in SLO_MIXES:
             raise ServiceError(
                 f"unknown SLO mix {mix_name!r}; known: {sorted(SLO_MIXES)}"
             )
-        stream = OpenLoopStream(offered_gbps=offered_gbps,
-                                duration_ns=duration_ns,
-                                tenants=tenants,
-                                slo_mix=SLO_MIXES[mix_name],
-                                seed=seed)
         for brownout_frac in brownout_fracs:
-            def reconfigure(service, frac=brownout_frac):
-                if frac is None:
-                    return
-                controller = FleetController(service)
-                controller.at(frac * duration_ns,
-                              lambda: controller.brown_out(device,
-                                                           speed_factor))
+            reconfig = ()
+            if brownout_frac is not None:
+                reconfig = (ReconfigEvent(
+                    at_ns=brownout_frac * duration_ns,
+                    action="brown-out", device=device,
+                    speed_factor=speed_factor),)
             for policy in policies:
-                report = run_offload_service(
-                    stream, policy=policy, fleet=fleet, spill=spill_pair,
-                    queue_limit=queue_limit, reconfigure=reconfigure)
+                spec = ClusterSpec(
+                    fleet=FleetSpec(devices=MIXES["mixed"],
+                                    spill=SPILL if spill else None,
+                                    queue_limit=queue_limit),
+                    policy=policy,
+                    slo_mix=_slo_mix_spec(mix_name),
+                    reconfig=reconfig,
+                )
+                cluster = Cluster.from_spec(spec)
+                cluster.open_loop(offered_gbps=offered_gbps,
+                                  duration_ns=duration_ns,
+                                  tenants=tenants, seed=seed)
+                report = cluster.run().service
                 result.rows.append({
                     "mix": mix_name,
                     "brownout_at": (brownout_frac

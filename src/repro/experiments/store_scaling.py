@@ -9,15 +9,19 @@ rates flag when the next doubling of cache capacity still pays; and
 (c) decompress traffic lands on a different placement mix than
 compress traffic under cost-model dispatch (the per-op calibrated
 budgets disagree about the fastest device — Figure 12's two panels).
+
+Each run is one :class:`~repro.cluster.ClusterSpec` with a ``store``
+section, served through the :class:`~repro.cluster.Cluster` façade's
+store client.
 """
 
 from __future__ import annotations
 
+from repro.cluster import Cluster, ClusterSpec, FleetSpec, StoreSpec
 from repro.errors import ServiceError
 from repro.experiments.common import ExperimentResult, register
-from repro.hw.cpu import CpuSoftwareDevice
-from repro.service import calibrated_ops, default_fleet
-from repro.store import StoreReport, run_block_store
+from repro.experiments.service_scaling import MIXES, SPILL
+from repro.store import StoreReport
 from repro.workloads import MixedStream
 
 DEFAULT_POLICIES = ("round-robin", "cost-model")
@@ -62,10 +66,6 @@ def run_sweep(read_fractions: tuple[float, ...] = (0.5, 0.9),
               f"{blocks} x {block_bytes // 1024} KiB Zipfian blocks; "
               + ("spill device: cpu-snappy" if spill else "no spill device"),
     )
-    fleet = calibrated_ops(default_fleet())
-    spill_pair = (calibrated_ops([CpuSoftwareDevice("snappy",
-                                                    threads=16)])[0]
-                  if spill else None)
     for read_fraction in read_fractions:
         stream = MixedStream(offered_gbps=offered_gbps,
                              duration_ns=duration_ns,
@@ -75,9 +75,17 @@ def run_sweep(read_fractions: tuple[float, ...] = (0.5, 0.9),
                              seed=seed)
         for cache in cache_blocks:
             for policy in policies:
-                report = run_block_store(stream, policy=policy,
-                                         fleet=fleet, spill=spill_pair,
-                                         cache_blocks=cache)
+                spec = ClusterSpec(
+                    fleet=FleetSpec(devices=MIXES["mixed"],
+                                    spill=SPILL if spill else None,
+                                    ops=("compress", "decompress")),
+                    policy=policy,
+                    store=StoreSpec(block_bytes=block_bytes,
+                                    cache_blocks=cache),
+                )
+                cluster = Cluster.from_spec(spec)
+                cluster.store_client(stream)
+                report = cluster.run().store
                 result.rows.append({
                     "read_frac": read_fraction,
                     "cache_blocks": cache,

@@ -27,10 +27,11 @@ explicit control plane and data plane:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Sequence
 
-from repro.errors import ServiceError
+from repro.errors import FleetConfigError, ServiceError
 from repro.hw.cpu import CpuSoftwareDevice
 from repro.hw.dpzip import DpzipEngine
 from repro.hw.engine import CdpuDevice
@@ -210,7 +211,15 @@ class OffloadService:
         self.scheduler.flush_batches()
 
     def drive(self, stream: OpenLoopStream) -> Process:
-        """Spawn the arrival process for ``stream`` on the simulator."""
+        """Spawn the arrival process for ``stream`` on the simulator.
+
+        Legacy single-stream driver: it owns the measurement window and
+        flushes at stream end itself, so it cannot share a simulation
+        with other traffic sources.  Multi-client runs (and any change
+        to the arrival/flush semantics here) go through
+        :class:`repro.cluster.clients.OpenLoopClient`, which keeps an
+        equivalent loop under the session's coordination.
+        """
         self.measure_until_ns = stream.duration_ns
 
         def arrivals() -> Generator[Any, Any, None]:
@@ -251,6 +260,7 @@ class OffloadService:
                 "completed": stats.completed,
                 "missed": stats.missed,
                 "shed": stats.shed,
+                "infeasible": stats.infeasible,
                 "miss_rate": stats.miss_rate,
                 "p50_us": latency["p50_us"],
                 "p99_us": latency["p99_us"],
@@ -311,10 +321,26 @@ def build_fleet(sim: Simulator,
     ``(device, model)`` pair, or ``(device, {op: model})`` pairs from
     :func:`~repro.service.model.calibrated_ops` for mixed-op serving;
     sweeps calibrate once and reuse the pairs across runs.
+
+    Composition is validated loudly: duplicate device names (which
+    would make :class:`~repro.service.control.FleetController` targets
+    ambiguous and per-device reports indistinguishable) and
+    non-positive queue depths raise :class:`~repro.errors.
+    FleetConfigError` naming the offending entry.
     """
+    if queue_limit is not None and queue_limit < 1:
+        raise FleetConfigError(
+            f"queue limit must be >= 1, got {queue_limit}"
+        )
+
     def as_fleet_device(entry) -> FleetDevice:
         device, model = (entry if isinstance(entry, tuple)
                          else (entry, None))
+        if device.queue_depth < 1:
+            raise FleetConfigError(
+                f"device {device.name!r} has non-positive queue depth "
+                f"{device.queue_depth}"
+            )
         return FleetDevice(
             sim, device, model,
             queue_limit=queue_limit,
@@ -325,6 +351,16 @@ def build_fleet(sim: Simulator,
 
     members = [as_fleet_device(entry)
                for entry in (fleet if fleet is not None else default_fleet())]
+    seen: dict[str, int] = {}
+    for member in members:
+        seen[member.name] = seen.get(member.name, 0) + 1
+    duplicates = sorted(name for name, count in seen.items() if count > 1)
+    if duplicates:
+        raise FleetConfigError(
+            f"duplicate device name(s) {duplicates} in fleet; give each "
+            f"member a unique name so controllers and reports can target "
+            f"it (e.g. rename the second instance)"
+        )
     spill_member = as_fleet_device(spill) if spill is not None else None
     return members, spill_member
 
@@ -344,7 +380,13 @@ def run_offload_service(
         pending_limit: int | None = None,
         reconfigure: Callable[["OffloadService"], None] | None = None
         ) -> ServiceReport:
-    """One-call service run: build the fleet, drive the stream, report.
+    """Deprecated one-call service run kept as a back-compat shim.
+
+    New code should build a :class:`~repro.cluster.session.Cluster`
+    (declaratively via :class:`~repro.cluster.spec.ClusterSpec`, or
+    from pre-built parts), attach clients, and read the unified
+    :class:`~repro.cluster.result.RunResult`; this shim wires the same
+    session underneath and returns only the service view.
 
     ``fleet``/``spill`` entries may be bare devices (calibrated here),
     ``(device, model)`` pairs, or ``(device, {op: model})`` pairs so
@@ -355,6 +397,13 @@ def run_offload_service(
     through a :class:`~repro.service.control.FleetController` (brown-
     outs, unplugs, power caps).
     """
+    from repro.cluster.session import Cluster
+
+    warnings.warn(
+        "run_offload_service is deprecated; build a repro.cluster.Cluster "
+        "and attach an open-loop client instead",
+        DeprecationWarning, stacklevel=2,
+    )
     sim = Simulator()
     members, spill_member = build_fleet(
         sim, fleet, spill,
@@ -367,8 +416,8 @@ def run_offload_service(
                              admission=admission,
                              spill_device=spill_member,
                              pending_limit=pending_limit)
+    cluster = Cluster(sim, service)
     if reconfigure is not None:
         reconfigure(service)
-    service.drive(stream)
-    sim.run()
-    return service.report(duration_ns=stream.duration_ns)
+    cluster.open_loop(stream)
+    return cluster.run().service

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -62,6 +63,9 @@ class SloStats:
     completed: int = 0
     missed: int = 0
     shed: int = 0
+    #: Requests routed straight to the CPU spill path because every
+    #: online device's predicted completion already blew the deadline.
+    infeasible: int = 0
 
     @property
     def offered(self) -> int:
@@ -251,6 +255,17 @@ class SchedulerCore:
             # spill path is the only capacity left (same rule pump()
             # applies when the fleet vanishes under parked work).
             return self._spill_or_shed(request, hook, on_drop)
+        if self._deadline_infeasible(request, online):
+            # Every online device's predicted completion already blows
+            # the deadline: burning fleet capacity on a guaranteed miss
+            # starves work that could still make it, so route straight
+            # to the CPU spill path (ROADMAP's deadline-feasibility
+            # spill).  Only taken when the spill valve has room —
+            # dispatching remains better than shedding.
+            self.metrics.slo_stats(request.slo).infeasible += 1
+            self.metrics.spilled += 1
+            self.spill_device.enqueue(request, hook)
+            return "spilled"
         device = self.placement.select(request, online)
         if device is not None and device.can_accept():
             device.enqueue(request, hook)
@@ -265,6 +280,26 @@ class SchedulerCore:
             self._push_pending(request, hook, on_drop)
             return "queued"
         return self._spill_or_shed(request, hook, on_drop)
+
+    def _deadline_infeasible(self, request: OffloadRequest,
+                             online: list[FleetDevice]) -> bool:
+        """True when no online device can predictably make the deadline.
+
+        Uses the same calibrated response estimates the cost-model
+        policy minimizes (a device's one-slot prediction cache makes
+        the follow-up ``select`` reuse these estimates).  Requests with
+        no deadline, and fleets without a spill valve that can accept,
+        skip the check — infeasibility only matters when there is a
+        cheaper place to send the guaranteed miss.
+        """
+        spill = self.spill_device
+        if (spill is None or not spill.can_accept()
+                or math.isinf(request.slo.deadline_ns)):
+            return False
+        deadline = request.deadline_ns
+        return all(self.sim.now + device.estimate_response_ns(request)
+                   > deadline
+                   for device in online)
 
     def _spill_or_shed(self, request: OffloadRequest,
                        hook: CompletionHook | None,

@@ -19,6 +19,7 @@ spike does not multiply fleet traffic before the cache warms.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
 
@@ -297,7 +298,13 @@ class CompressedBlockStore:
     # -- open-loop driving --------------------------------------------------------
 
     def drive(self, stream: MixedStream) -> Process:
-        """Spawn the mixed read/write arrival process for ``stream``."""
+        """Spawn the mixed read/write arrival process for ``stream``.
+
+        Legacy single-stream driver (see the note on
+        :meth:`OffloadService.drive`); cluster runs go through
+        :class:`repro.cluster.clients.StoreClient`, which keeps an
+        equivalent loop under the session's coordination.
+        """
         if stream.block_bytes != self.block_bytes:
             raise StoreError(
                 f"stream block size {stream.block_bytes} != store "
@@ -383,7 +390,13 @@ def run_block_store(
         pending_limit: int | None = None,
         reconfigure: Callable[[OffloadService], None] | None = None,
         **store_kwargs) -> StoreReport:
-    """One-call store run: build fleet + store, drive the stream, report.
+    """Deprecated one-call store run kept as a back-compat shim.
+
+    New code should declare the store tier in a
+    :class:`~repro.cluster.spec.ClusterSpec` (or wrap pre-built parts
+    in a :class:`~repro.cluster.session.Cluster`), attach a store
+    client, and read the unified result; this shim wires the same
+    session underneath and returns only the store view.
 
     ``fleet``/``spill`` entries should carry per-op model dicts (see
     :func:`~repro.service.model.calibrated_ops`) so the read path is
@@ -394,6 +407,13 @@ def run_block_store(
     simulation starts — the hook for scheduling mid-run fleet events
     through a :class:`~repro.service.control.FleetController`.
     """
+    from repro.cluster.session import Cluster
+
+    warnings.warn(
+        "run_block_store is deprecated; build a repro.cluster.Cluster "
+        "with a store section and attach a store client instead",
+        DeprecationWarning, stacklevel=2,
+    )
     sim = Simulator()
     members, spill_member = build_fleet(
         sim,
@@ -411,10 +431,9 @@ def run_block_store(
     store = CompressedBlockStore(sim, service, cache,
                                  block_bytes=stream.block_bytes,
                                  **store_kwargs)
-    store.load(stream.blocks, ratio_range=stream.ratio_range,
-               seed=stream.seed + 2)
+    cluster = Cluster(sim, service, store=store)
     if reconfigure is not None:
         reconfigure(service)
-    store.drive(stream)
-    sim.run()
-    return store.report(duration_ns=stream.duration_ns)
+    cluster.store_client(stream)
+    result = cluster.run()
+    return result.store

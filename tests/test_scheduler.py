@@ -348,3 +348,85 @@ class TestBrownOutAcceptance:
         # The brown-out pain lands on the batch tier instead.
         assert (deadline.slo_miss_rate("batch")
                 >= deadline.slo_miss_rate("interactive"))
+
+
+class TestDeadlineFeasibilitySpill:
+    """Requests whose deadline no online device can predictably make
+    route straight to the CPU spill path instead of burning fleet
+    capacity on a guaranteed miss."""
+
+    def _service(self, sim, engine_per_byte=1.0, spill=True, **kwargs):
+        device = FleetDevice(sim, StubDevice(name="slow"),
+                             flat_model(engine_per_byte_ns=engine_per_byte),
+                             queue_limit=4, batch_size=1)
+        spill_device = None
+        if spill:
+            spill_device = FleetDevice(
+                sim, StubDevice(name="cpu"),
+                flat_model(engine_per_byte_ns=engine_per_byte),
+                queue_limit=64, batch_size=1)
+        service = OffloadService(sim, [device], "cost-model",
+                                 spill_device=spill_device, **kwargs)
+        return service, device, spill_device
+
+    def test_infeasible_deadline_spills_immediately(self):
+        sim = Simulator()
+        service, device, spill = self._service(sim)
+        tight = SloClass("tight", tier=0, deadline_ns=500.0)
+        # 1000 bytes at 1 ns/byte: predicted 1000 ns > 500 ns budget.
+        assert service.submit(request(nbytes=1000, slo=tight)) == "spilled"
+        sim.run()
+        assert device.completed == 0
+        assert spill.completed == 1
+        assert service.metrics.spilled == 1
+
+    def test_feasible_deadline_stays_on_fleet(self):
+        sim = Simulator()
+        service, device, spill = self._service(sim)
+        roomy = SloClass("roomy", tier=0, deadline_ns=1e6)
+        assert service.submit(request(nbytes=1000, slo=roomy)) == "admitted"
+        sim.run()
+        assert device.completed == 1
+        assert spill.completed == 0
+
+    def test_infeasible_count_reported_per_slo_class(self):
+        sim = Simulator()
+        service, _, _ = self._service(sim)
+        tight = SloClass("tight", tier=0, deadline_ns=500.0)
+        service.submit(request(nbytes=1000, slo=tight))
+        service.submit(request(nbytes=100, slo=tight))  # feasible
+        sim.run()
+        rows = {row["slo"]: row for row in service.report().slo_breakdown}
+        assert rows["tight"]["infeasible"] == 1
+
+    def test_no_spill_device_keeps_dispatching(self):
+        # Without a spill valve there is nowhere cheaper to send the
+        # guaranteed miss; dispatching beats shedding.
+        sim = Simulator()
+        service, device, _ = self._service(sim, spill=False)
+        tight = SloClass("tight", tier=0, deadline_ns=500.0)
+        assert service.submit(request(nbytes=1000, slo=tight)) == "admitted"
+        sim.run()
+        assert device.completed == 1
+        assert service.report().slo_breakdown[0]["infeasible"] == 0
+
+    def test_best_effort_skips_the_check(self):
+        sim = Simulator()
+        service, device, spill = self._service(sim, engine_per_byte=100.0)
+        assert service.submit(request(nbytes=10000)) == "admitted"
+        sim.run()
+        assert device.completed == 1
+        assert spill.completed == 0
+
+    def test_saturated_spill_valve_disables_the_check(self):
+        sim = Simulator()
+        service, device, spill = self._service(sim)
+        spill.queue_limit = 1
+        blocker = SloClass("tight", tier=0, deadline_ns=500.0)
+        assert service.submit(request(nbytes=1000, slo=blocker)) == "spilled"
+        # The valve is now full: the next infeasible request dispatches
+        # onto the fleet rather than being shed.
+        assert service.submit(request(nbytes=1000, slo=blocker)) == "admitted"
+        sim.run()
+        assert device.completed == 1
+        assert spill.completed == 1

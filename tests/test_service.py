@@ -593,3 +593,48 @@ class TestMixedFleetIntegration:
         assert report.completed == report.offered
         used = {row["placement"] for row in report.breakdown}
         assert used == {"cpu", "peripheral", "on-chip", "in-storage"}
+
+
+class TestBuildFleetValidation:
+    def test_duplicate_device_names_rejected(self):
+        from repro.service import build_fleet
+        sim = Simulator()
+        with pytest.raises(ValueError, match="dpzip"):
+            build_fleet(sim, [(StubDevice(name="dpzip"), flat_model()),
+                              (StubDevice(name="dpzip"), flat_model())])
+
+    def test_duplicate_rejection_is_a_service_error_too(self):
+        from repro.errors import FleetConfigError
+        from repro.service import build_fleet
+        sim = Simulator()
+        with pytest.raises(FleetConfigError):
+            build_fleet(sim, [(StubDevice(name="x"), flat_model()),
+                              (StubDevice(name="x"), flat_model())])
+        assert issubclass(FleetConfigError, ServiceError)
+        assert issubclass(FleetConfigError, ValueError)
+
+    def test_unique_names_accepted(self):
+        from repro.service import build_fleet
+        sim = Simulator()
+        members, spill = build_fleet(
+            sim, [(StubDevice(name="a"), flat_model()),
+                  (StubDevice(name="b"), flat_model())],
+            spill=(StubDevice(name="a"), flat_model()))
+        # A spill valve may share a member's name; it is not a
+        # controller target.
+        assert [m.name for m in members] == ["a", "b"]
+        assert spill.name == "a"
+
+    def test_non_positive_queue_limit_rejected(self):
+        from repro.service import build_fleet
+        sim = Simulator()
+        with pytest.raises(ValueError, match="queue limit"):
+            build_fleet(sim, [(StubDevice(name="a"), flat_model())],
+                        queue_limit=0)
+
+    def test_non_positive_device_queue_depth_named_in_error(self):
+        from repro.service import build_fleet
+        sim = Simulator()
+        broken = StubDevice(name="dead-qat", queue_depth=0)
+        with pytest.raises(ValueError, match="dead-qat"):
+            build_fleet(sim, [(broken, flat_model())])
