@@ -13,7 +13,9 @@ are evaluated under:
   application threadpool does (the shape the ROADMAP's oldest open
   item asked for);
 * :class:`StoreClient` — mixed GET/PUT traffic against the compressed
-  block-store tier, open-loop over a Zipfian block space.
+  block-store tier, open-loop over a Zipfian block space by default,
+  or windowed closed-loop (``window=N`` connections with think time)
+  like :class:`ClosedLoopClient`.
 
 Every client keeps its own latency recorder and goodput window, so a
 run's :class:`~repro.cluster.result.RunResult` can report per-client
@@ -36,6 +38,25 @@ from repro.service.request import (
 from repro.sim.stats import LatencyRecorder
 from repro.store.store import CompressedBlockStore
 from repro.workloads.mixed import MixedStream
+from repro.workloads.zipf import ScrambledZipfian
+
+
+def _validate_window_args(name: str, window: int | None,
+                          think_ns: float,
+                          retry_backoff_ns: float) -> None:
+    """Shared closed-loop knob validation (window may be None for
+    clients where windowing is optional)."""
+    if window is not None and window < 1:
+        raise ClusterError(f"{name}: window must be >= 1, got {window}")
+    if think_ns < 0:
+        raise ClusterError(f"{name}: think time must be >= 0, "
+                           f"got {think_ns}")
+    if retry_backoff_ns <= 0:
+        # A shed can fire its completion callback synchronously inside
+        # submit(); retrying with no backoff would spin the connection
+        # at one virtual instant forever when the fleet is saturated.
+        raise ClusterError(f"{name}: retry backoff must be > 0, "
+                           f"got {retry_backoff_ns}")
 
 
 class ClusterClient:
@@ -72,6 +93,29 @@ class ClusterClient:
     def _done(self) -> None:
         if self._on_done is not None:
             self._on_done(self)
+
+    # -- windowed-connection machinery (clients that set window/think/
+    # retry_backoff and _live_connections; shared so the store and
+    # service closed-loop protocols cannot silently diverge) -----------------
+
+    def _track_submit(self) -> None:
+        self.submitted += 1
+        self.inflight += 1
+        self.peak_inflight = max(self.peak_inflight, self.inflight)
+
+    def _pace(self, outcome: str) -> Generator[Any, Any, None]:
+        """Post-completion pacing: back off after a drop (a saturated
+        fleet sheds synchronously, and an instant resubmit would freeze
+        virtual time in a shed storm), think after a completion."""
+        if outcome == "dropped":
+            yield self.sim.timeout(self.retry_backoff_ns)
+        elif self.think_ns > 0:
+            yield self.sim.timeout(self.think_ns)
+
+    def _connection_done(self) -> None:
+        self._live_connections -= 1
+        if self._live_connections == 0:
+            self._done()
 
     # -- completion accounting -------------------------------------------------
 
@@ -168,17 +212,7 @@ class ClosedLoopClient(ClusterClient):
                  seed: int = 1234,
                  name: str = "closed-loop") -> None:
         super().__init__(service, name, duration_ns)
-        if window < 1:
-            raise ClusterError(f"{name}: window must be >= 1, got {window}")
-        if think_ns < 0:
-            raise ClusterError(f"{name}: think time must be >= 0, "
-                               f"got {think_ns}")
-        if retry_backoff_ns <= 0:
-            # A shed fires synchronously inside submit(); retrying with
-            # no backoff would spin the connection at one virtual
-            # instant forever when the fleet is saturated.
-            raise ClusterError(f"{name}: retry backoff must be > 0, "
-                               f"got {retry_backoff_ns}")
+        _validate_window_args(name, window, think_ns, retry_backoff_ns)
         if not request_sizes:
             raise ClusterError(f"{name}: need at least one request size")
         self.window = window
@@ -214,9 +248,7 @@ class ClosedLoopClient(ClusterClient):
         while self.sim.now < self.duration_ns:
             request = self._make_request(rng)
             finished = self.sim.event()
-            self.submitted += 1
-            self.inflight += 1
-            self.peak_inflight = max(self.peak_inflight, self.inflight)
+            self._track_submit()
             self.service.submit(
                 request,
                 on_complete=lambda req, dev, cost, finished=finished:
@@ -225,16 +257,8 @@ class ClosedLoopClient(ClusterClient):
                     self._drop(req, finished),
             )
             outcome = yield finished
-            if outcome == "dropped":
-                # Back off before retrying a shed — a saturated fleet
-                # sheds synchronously, and an instant resubmit would
-                # freeze virtual time in a shed storm.
-                yield self.sim.timeout(self.retry_backoff_ns)
-            elif self.think_ns > 0:
-                yield self.sim.timeout(self.think_ns)
-        self._live_connections -= 1
-        if self._live_connections == 0:
-            self._done()
+            yield from self._pace(outcome)
+        self._connection_done()
 
     def _complete(self, request: OffloadRequest, finished) -> None:
         self.inflight -= 1
@@ -256,15 +280,32 @@ class ClosedLoopClient(ClusterClient):
 class StoreClient(ClusterClient):
     """Drives mixed GET/PUT traffic against the block-store tier.
 
-    Completion accounting lives in the store's own metrics (hit/miss
-    split, coalescing); the client row reports the op counts and the
-    store-level goodput for its window.
+    Two serving shapes, selected by ``window``:
+
+    * ``window=None`` (default) — open loop: operations arrive on the
+      stream's Poisson clock whatever the store's latency looks like.
+      Completion accounting lives in the store's own metrics (hit/miss
+      split, coalescing); the client row reports op counts and the
+      store-level goodput for its window.
+    * ``window=N`` — closed loop: ``N`` connections each keep one
+      operation in flight, wait for its completion (via the store's
+      ``on_done`` hooks, so a coalesced read completes when the shared
+      decompress lands), think ``think_ns``, then issue the next.  A
+      dropped operation backs off ``retry_backoff_ns`` instead of the
+      think time.  The stream still supplies the op mix, key
+      popularity and duration; its ``offered_gbps`` is ignored because
+      flow control sets the rate.  Per-op latency and goodput come out
+      of the client's own accounting, mirroring
+      :class:`ClosedLoopClient`.
     """
 
     mode = "store"
 
     def __init__(self, store: CompressedBlockStore, stream: MixedStream,
-                 name: str = "store", preload: bool = True) -> None:
+                 name: str = "store", preload: bool = True,
+                 window: int | None = None,
+                 think_ns: float = 0.0,
+                 retry_backoff_ns: float = 1_000.0) -> None:
         super().__init__(store.service, name, stream.duration_ns)
         if stream.block_bytes != store.block_bytes:
             # StoreError, matching the store.drive() behaviour callers
@@ -273,11 +314,19 @@ class StoreClient(ClusterClient):
                 f"{name}: stream block size {stream.block_bytes} != "
                 f"store block size {store.block_bytes}"
             )
+        _validate_window_args(name, window, think_ns, retry_backoff_ns)
         self.store = store
         self.stream = stream
         self.preload = preload
+        self.window = window
+        self.think_ns = think_ns
+        self.retry_backoff_ns = retry_backoff_ns
+        self.mode = "store" if window is None else "store-closed"
         self.reads = 0
         self.writes = 0
+        self.inflight = 0
+        self.peak_inflight = 0
+        self._live_connections = 0
 
     def _spawn(self) -> None:
         if self.preload and len(self.store.blockmap) == 0:
@@ -288,7 +337,12 @@ class StoreClient(ClusterClient):
                             seed=self.stream.seed + 2)
         # The measurement horizon on the store is owned by Cluster.run
         # (the longest client duration), not reset per client.
-        self.sim.spawn(self._arrivals())
+        if self.window is None:
+            self.sim.spawn(self._arrivals())
+        else:
+            self._live_connections = self.window
+            for connection in range(self.window):
+                self.sim.spawn(self._connection(connection))
 
     def _arrivals(self) -> Generator[Any, Any, None]:
         stream = self.stream
@@ -308,13 +362,58 @@ class StoreClient(ClusterClient):
                 self.store.put(op.block, op.tenant, op.ratio)
         self._done()
 
+    # -- closed-loop connections -----------------------------------------------
+
+    def _connection(self, index: int) -> Generator[Any, Any, None]:
+        stream = self.stream
+        rng = random.Random(f"{stream.seed}/{index}/{self.name}")
+        # String-derived key seed: integer offsets from stream.seed
+        # would collide with the preload RNG (seed + 2) and the shared
+        # open-loop key stream (seed + 1).
+        keys = ScrambledZipfian(stream.blocks, theta=stream.zipf_theta,
+                                seed=f"{stream.seed}/keys/{index}")
+        while self.sim.now < self.duration_ns:
+            op = stream.make_op(rng, keys)
+            started = self.sim.now
+            finished = self.sim.event()
+            self._track_submit()
+
+            def done(outcome: str, started=started, finished=finished):
+                self.inflight -= 1
+                if outcome == "completed":
+                    self.completed += 1
+                    self.latency.record(self.sim.now - started)
+                    self.completed_bytes += self.stream.block_bytes
+                    if self.sim.now <= self.duration_ns:
+                        self.window_bytes += self.stream.block_bytes
+                else:
+                    self.failed += 1
+                finished.succeed(outcome)
+
+            if op.kind == "read":
+                self.reads += 1
+                self.store.get(op.block, op.tenant, on_done=done)
+            else:
+                self.writes += 1
+                self.store.put(op.block, op.tenant, op.ratio, on_done=done)
+            outcome = yield finished
+            yield from self._pace(outcome)
+        self._connection_done()
+
     @property
     def goodput_gbps(self) -> float:
+        if self.window is not None:
+            return self.window_bytes / self.duration_ns
         metrics = self.store.metrics
         return ((metrics.window_read_bytes + metrics.window_write_bytes)
                 / self.duration_ns)
 
     def row(self) -> dict:
+        if self.window is not None:
+            row = super().row()
+            row["window"] = self.window
+            row["peak_inflight"] = self.peak_inflight
+            return row
         summary = self.store.metrics.read_latency.summary_us()
         return {
             "client": self.name,

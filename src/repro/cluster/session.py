@@ -244,8 +244,16 @@ class Cluster:
 
     def store_client(self, stream: MixedStream | None = None,
                      name: str = "store",
+                     window: int | None = None,
+                     think_ns: float | None = None,
                      **stream_kwargs) -> StoreClient:
-        """Attach a mixed GET/PUT client to the block-store tier."""
+        """Attach a mixed GET/PUT client to the block-store tier.
+
+        ``window``/``think_ns`` select closed-loop serving (at most
+        ``window`` operations in flight per connection); both default
+        from the spec's ``store.client_window``/``client_think_ns``
+        when the cluster was built from a spec declaring them.
+        """
         if self.store is None:
             raise ClusterError(
                 "this cluster has no block-store tier; add a 'store' "
@@ -259,6 +267,12 @@ class Cluster:
                 "the store tier already has a client; drive mixed "
                 "traffic through one StoreClient per run"
             )
+        store_spec = self.spec.store if self.spec is not None else None
+        if window is None and store_spec is not None:
+            window = store_spec.client_window
+        if think_ns is None:
+            think_ns = (store_spec.client_think_ns
+                        if store_spec is not None else 0.0)
         if stream is None:
             stream_kwargs.setdefault("block_bytes", self.store.block_bytes)
             stream = MixedStream(**stream_kwargs)
@@ -266,7 +280,8 @@ class Cluster:
             raise ClusterError(
                 "pass either a stream or stream kwargs, not both"
             )
-        client = StoreClient(self.store, stream, name=name)
+        client = StoreClient(self.store, stream, name=name,
+                             window=window, think_ns=think_ns)
         self._attach(client)
         return client
 

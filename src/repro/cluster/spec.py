@@ -21,8 +21,10 @@ live objects (devices, scheduler, store, controller) from a spec is
 
 from __future__ import annotations
 
+import copy
 import json
 import math
+import re
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Any
 
@@ -55,14 +57,137 @@ def _check_keys(cls: type, data: dict) -> None:
         )
 
 
-def _to_jsonable(value: Any) -> Any:
-    """Recursively convert spec values into JSON-serializable shapes."""
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert spec values into JSON-serializable shapes
+    (dataclasses become dicts, tuples become lists, dict values are
+    converted in place — override mappings may carry spec objects)."""
     if is_dataclass(value) and not isinstance(value, type):
-        return {f.name: _to_jsonable(getattr(value, f.name))
+        return {f.name: to_jsonable(getattr(value, f.name))
                 for f in fields(value)}
     if isinstance(value, (tuple, list)):
-        return [_to_jsonable(item) for item in value]
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {key: to_jsonable(item) for key, item in value.items()}
     return value
+
+
+# -- dotted-path overrides -----------------------------------------------------
+#
+# The sweep layer (:mod:`repro.sweep`) addresses individual knobs of a
+# spec document by dotted path — ``store.cache_blocks``,
+# ``fleet.devices[1].threads``, ``workload.offered_gbps`` — and
+# resolves each grid point by setting those paths on the JSON-shaped
+# dict before re-validating through ``from_dict``.  The grammar:
+#
+#   path     := segment ("." segment)*
+#   segment  := name ("[" index "]")*
+#
+# Every addressed key must already exist in the document (``to_dict``
+# emits every field, so any valid knob does); a typo'd segment raises
+# :class:`ClusterSpecError` naming the full path and the segment that
+# failed, instead of silently creating a key ``from_dict`` would then
+# reject with less context.
+
+_SEGMENT_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)((?:\[[0-9]+\])*)$")
+
+
+def parse_override_path(path: str) -> list[str | int]:
+    """Split a dotted override path into dict keys and list indices."""
+    if not isinstance(path, str) or not path:
+        raise ClusterSpecError(f"override path must be a non-empty "
+                               f"string, got {path!r}")
+    steps: list[str | int] = []
+    for segment in path.split("."):
+        match = _SEGMENT_RE.match(segment)
+        if match is None:
+            raise ClusterSpecError(
+                f"bad segment {segment!r} in override path {path!r}; "
+                f"expected name or name[index]"
+            )
+        steps.append(match.group(1))
+        for index in re.findall(r"\[([0-9]+)\]", match.group(2)):
+            steps.append(int(index))
+    return steps
+
+
+def _describe_step(step: str | int) -> str:
+    return f"index [{step}]" if isinstance(step, int) else f"key {step!r}"
+
+
+def apply_override(data: dict, path: str, value: Any) -> None:
+    """Set one dotted ``path`` to ``value`` inside a spec dict, in place.
+
+    ``value`` is deep-copied before insertion: a later override may
+    descend *into* an inserted subtree (``fleet.devices`` set by one
+    sweep axis, ``fleet.devices[0].threads`` by another), and that
+    must never mutate the caller's original object.
+
+    Raises :class:`ClusterSpecError` naming ``path`` and the failing
+    segment when the path addresses a key that does not exist, an index
+    out of range, or tries to descend into a scalar/null.
+    """
+    value = copy.deepcopy(value)
+    steps = parse_override_path(path)
+    target: Any = data
+    for position, step in enumerate(steps[:-1]):
+        target = _descend(target, step, path)
+        if not isinstance(target, (dict, list)):
+            where = _join_steps(steps[:position + 1])
+            raise ClusterSpecError(
+                f"override path {path!r} descends into "
+                f"{type(target).__name__} at {where!r}; only mappings "
+                f"and lists can be traversed"
+            )
+    last = steps[-1]
+    if isinstance(target, dict):
+        if not isinstance(last, str) or last not in target:
+            raise ClusterSpecError(
+                f"override path {path!r} addresses unknown "
+                f"{_describe_step(last)}; allowed here: {sorted(target)}"
+            )
+        target[last] = value
+    elif isinstance(target, list):
+        if not isinstance(last, int) or not 0 <= last < len(target):
+            raise ClusterSpecError(
+                f"override path {path!r} addresses {_describe_step(last)} "
+                f"outside a list of length {len(target)}"
+            )
+        target[last] = value
+    else:
+        raise ClusterSpecError(
+            f"override path {path!r} ends inside "
+            f"{type(target).__name__}; nothing to set"
+        )
+
+
+def _descend(container: Any, step: str | int, path: str) -> Any:
+    if isinstance(container, dict):
+        if not isinstance(step, str) or step not in container:
+            raise ClusterSpecError(
+                f"override path {path!r} addresses unknown "
+                f"{_describe_step(step)}; allowed here: {sorted(container)}"
+            )
+        return container[step]
+    if isinstance(container, list):
+        if not isinstance(step, int) or not 0 <= step < len(container):
+            raise ClusterSpecError(
+                f"override path {path!r} addresses {_describe_step(step)} "
+                f"outside a list of length {len(container)}"
+            )
+        return container[step]
+    raise ClusterSpecError(
+        f"override path {path!r} descends into "
+        f"{type(container).__name__} at {_describe_step(step)}; only "
+        f"mappings and lists can be traversed"
+    )
+
+
+def _join_steps(steps: list[str | int]) -> str:
+    joined = ""
+    for step in steps:
+        joined += f"[{step}]" if isinstance(step, int) \
+            else (f".{step}" if joined else step)
+    return joined
 
 
 @dataclass(frozen=True)
@@ -264,7 +389,14 @@ class SloShare:
 
 @dataclass(frozen=True)
 class StoreSpec:
-    """Block-store geometry plus decompressed-block cache sizing."""
+    """Block-store geometry plus decompressed-block cache sizing.
+
+    ``client_window``/``client_think_ns`` declare closed-loop store
+    serving: a store client built from this spec keeps at most
+    ``client_window`` operations in flight per connection and thinks
+    ``client_think_ns`` between completions (``None`` window = the
+    open-loop Poisson default).
+    """
 
     block_bytes: int = 65536
     segment_bytes: int | None = None
@@ -274,6 +406,8 @@ class StoreSpec:
                                 deadline_ns=200_000.0)
     write_slo: SloSpec = SloSpec("throughput", tier=1,
                                  deadline_ns=2_000_000.0)
+    client_window: int | None = None
+    client_think_ns: float = 0.0
 
     def __post_init__(self) -> None:
         if self.block_bytes <= 0:
@@ -287,6 +421,16 @@ class StoreSpec:
         if self.cache_blocks < 0:
             raise ClusterSpecError(
                 f"cache size must be >= 0, got {self.cache_blocks}"
+            )
+        if self.client_window is not None and self.client_window < 1:
+            raise ClusterSpecError(
+                f"store client window must be >= 1, "
+                f"got {self.client_window}"
+            )
+        if self.client_think_ns < 0:
+            raise ClusterSpecError(
+                f"store client think time must be >= 0, "
+                f"got {self.client_think_ns}"
             )
 
     @classmethod
@@ -302,6 +446,8 @@ class StoreSpec:
                       if "read_slo" in data else spec.read_slo),
             write_slo=(SloSpec.from_dict(data["write_slo"])
                        if "write_slo" in data else spec.write_slo),
+            client_window=data.get("client_window"),
+            client_think_ns=data.get("client_think_ns", 0.0),
         )
 
 
@@ -405,7 +551,19 @@ class ClusterSpec:
 
     def to_dict(self) -> dict:
         """JSON-shaped dict (tuples become lists, specs become dicts)."""
-        return _to_jsonable(self)
+        return to_jsonable(self)
+
+    def with_overrides(self, overrides: dict[str, Any]) -> "ClusterSpec":
+        """A copy with dotted-path ``overrides`` applied and re-validated.
+
+        >>> spec = default_cluster_spec(store=True)
+        >>> spec.with_overrides({"store.cache_blocks": 64}).store.cache_blocks
+        64
+        """
+        data = self.to_dict()
+        for path, value in overrides.items():
+            apply_override(data, path, value)
+        return ClusterSpec.from_dict(data)
 
     @classmethod
     def from_dict(cls, data: dict) -> "ClusterSpec":

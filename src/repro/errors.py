@@ -72,5 +72,21 @@ class ClusterSpecError(ClusterError, ValueError):
     """
 
 
+class SweepError(ReproError):
+    """Raised on sweep-runner failures (a point's run raised, or every
+    grid point was filtered away)."""
+
+
+class SweepSpecError(SweepError, ValueError):
+    """Raised when a :class:`~repro.sweep.SweepSpec` (or a dict/JSON
+    document being deserialized into one) is invalid — unknown keys,
+    duplicate axis names, filters naming unknown axes, or a grid point
+    whose resolved spec fails validation.
+
+    Doubles as a :class:`ValueError` for the same reason as
+    :class:`ClusterSpecError`: sweep descriptions are user input.
+    """
+
+
 class StoreError(ReproError):
     """Raised on block-store misuse (unmapped block, oversized write)."""

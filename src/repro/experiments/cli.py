@@ -3,7 +3,7 @@
 Runs the requested experiments (default: all) and prints their tables.
 ``--full`` switches off quick mode for paper-scale workloads.
 
-Four dedicated subcommands expose the serving layer with tunable
+Five dedicated subcommands expose the serving layer with tunable
 parameters (the sweeps' registered ids run the same sweeps at
 defaults):
 
@@ -12,21 +12,72 @@ defaults):
   (``--example-spec`` prints a starting point); open-loop,
   closed-loop (``--closed-loop``) or store traffic depending on the
   spec and flags;
+* ``repro-experiment sweep --spec sweep.json --workers N`` — a whole
+  experiment grid from one declarative
+  :class:`~repro.sweep.SweepSpec` document, executed inline or over a
+  process pool (``--example-spec`` runs the built-in smoke grid,
+  ``--print-example-spec`` dumps its JSON);
 * ``repro-experiment service [options]`` — the compress-offload
   scaling sweep (offered load x fleet mix x dispatch policy);
 * ``repro-experiment store [options]`` — the compressed block-store
   sweep (read fraction x cache size x dispatch policy);
 * ``repro-experiment slo [options]`` — the SLO-degradation sweep
   (brown-out timing x SLO mix x policy).
+
+The sweep subcommands share one option block (``--duration-ms``,
+``--tenants``, ``--seed``, ``--workers``, ``--csv``, ``--json``)
+declared once as argparse parent parsers instead of being repeated per
+subcommand; ``--csv``/``--json`` export the printed rows through the
+unified flat-row formats of :mod:`repro.sweep.result`.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.errors import ReproError
 from repro.experiments import REGISTRY, run_experiment
+
+SUBCOMMANDS = ("cluster", "sweep", "service", "store", "slo")
+
+
+def _run_options(duration_ms: float, seed: int,
+                 tenants: int = 4) -> argparse.ArgumentParser:
+    """Shared per-run flags (defaults vary by subcommand)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("shared run options")
+    group.add_argument("--duration-ms", type=float, default=duration_ms,
+                       help="virtual stream duration per run")
+    group.add_argument("--tenants", type=int, default=tenants,
+                       help="number of tenants in the request stream")
+    group.add_argument("--seed", type=int, default=seed,
+                       help="root seed; one number reproduces the "
+                            "whole run or sweep")
+    return parent
+
+
+def _sweep_options() -> argparse.ArgumentParser:
+    """Shared sweep execution/output flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("shared sweep options")
+    group.add_argument("--workers", type=int, default=0,
+                       help="worker processes for the grid "
+                            "(0 = run every point inline)")
+    group.add_argument("--csv", metavar="PATH",
+                       help="also write the result rows as CSV")
+    group.add_argument("--json", metavar="PATH",
+                       help="also write the result rows as JSON")
+    return parent
+
+
+def _write_outputs(result, args) -> None:
+    """Honor the shared --csv/--json export flags."""
+    if getattr(args, "csv", None):
+        result.to_csv(args.csv)
+    if getattr(args, "json", None):
+        result.to_json(args.json)
 
 
 def cluster_main(argv: list[str]) -> int:
@@ -36,6 +87,7 @@ def cluster_main(argv: list[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro-experiment cluster",
+        parents=[_run_options(duration_ms=2.0, seed=1234)],
         description="Serve one run over a declarative cluster spec: "
                     "open-loop by default, closed-loop windowed clients "
                     "with --closed-loop, mixed GET/PUT store traffic "
@@ -50,10 +102,6 @@ def cluster_main(argv: list[str]) -> int:
                              "--example-spec output")
     parser.add_argument("--load-gbps", type=float, default=36.0,
                         help="open-loop/store offered load in GB/s")
-    parser.add_argument("--duration-ms", type=float, default=2.0,
-                        help="virtual duration of the run")
-    parser.add_argument("--tenants", type=int, default=4)
-    parser.add_argument("--seed", type=int, default=1234)
     parser.add_argument("--closed-loop", action="store_true",
                         help="drive closed-loop windowed clients instead "
                              "of an open-loop stream")
@@ -110,6 +158,81 @@ def cluster_main(argv: list[str]) -> int:
     return 0
 
 
+def sweep_main(argv: list[str]) -> int:
+    """The ``sweep`` subcommand: a whole grid from one SweepSpec JSON."""
+    from repro.profiling import format_table
+    from repro.sweep import SweepRunner, SweepSpec, example_sweep_spec
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment sweep",
+        parents=[_sweep_options()],
+        description="Expand a declarative SweepSpec document into its "
+                    "grid of cluster specs and run every point — "
+                    "inline, or fanned out over --workers processes "
+                    "with identical results.",
+    )
+    parser.add_argument("--spec", metavar="sweep.json",
+                        help="path to a SweepSpec JSON document")
+    parser.add_argument("--example-spec", action="store_true",
+                        help="run the built-in example grid (load x "
+                             "policy over a two-device fleet)")
+    parser.add_argument("--print-example-spec", action="store_true",
+                        help="print the built-in example SweepSpec "
+                             "JSON and exit")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the spec's root_seed")
+    parser.add_argument("--continue-on-error", action="store_true",
+                        help="record failing points and keep sweeping "
+                             "instead of failing fast")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-point progress lines")
+    args = parser.parse_args(argv)
+    if args.print_example_spec:
+        print(example_sweep_spec().to_json())
+        return 0
+    if bool(args.spec) == args.example_spec:
+        print("repro-experiment sweep: error: pass exactly one of "
+              "--spec sweep.json or --example-spec "
+              "(--print-example-spec dumps the example document)",
+              file=sys.stderr)
+        return 2
+
+    def progress(done: int, total: int, point) -> None:
+        if not args.quiet:
+            print(f"[{done}/{total}] {point.describe()}",
+                  file=sys.stderr)
+
+    try:
+        if args.spec:
+            with open(args.spec, encoding="utf-8") as handle:
+                spec = SweepSpec.from_json(handle.read())
+        else:
+            spec = example_sweep_spec()
+        if args.seed is not None:
+            spec = dataclasses.replace(spec, root_seed=args.seed)
+        runner = SweepRunner(
+            spec, workers=args.workers,
+            on_error="continue" if args.continue_on_error else "raise",
+            progress=progress)
+        result = runner.run()
+    except (OSError, ReproError) as error:
+        print(f"repro-experiment sweep: error: {error}", file=sys.stderr)
+        return 2
+    print(f"== sweep: {len(result.points)} points "
+          f"(grid {spec.grid_size()}), root seed {spec.root_seed}, "
+          f"workers {args.workers} ==")
+    print(result.table())
+    _write_outputs(result, args)
+    if result.failures:
+        print(f"\n{len(result.failures)} point(s) failed:",
+              file=sys.stderr)
+        print(format_table([failure.row()
+                            for failure in result.failures]),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def service_main(argv: list[str]) -> int:
     """The ``service`` subcommand: parameterized service-scaling sweep."""
     from repro.experiments.service_scaling import (
@@ -120,6 +243,8 @@ def service_main(argv: list[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro-experiment service",
+        parents=[_run_options(duration_ms=2.0, seed=29),
+                 _sweep_options()],
         description="Sweep the compression offload service "
                     "(offered load x fleet mix x dispatch policy).",
     )
@@ -132,10 +257,6 @@ def service_main(argv: list[str]) -> int:
     parser.add_argument("--mix", nargs="+", default=["mixed"],
                         choices=sorted(MIXES),
                         help="fleet mixes to sweep")
-    parser.add_argument("--duration-ms", type=float, default=2.0,
-                        help="virtual stream duration per run")
-    parser.add_argument("--tenants", type=int, default=4)
-    parser.add_argument("--seed", type=int, default=29)
     parser.add_argument("--no-spill", action="store_true",
                         help="disable the CPU-software spill device")
     args = parser.parse_args(argv)
@@ -148,11 +269,13 @@ def service_main(argv: list[str]) -> int:
             tenants=args.tenants,
             seed=args.seed,
             spill=not args.no_spill,
+            workers=args.workers,
         )
     except ReproError as error:
         print(f"repro-experiment service: error: {error}", file=sys.stderr)
         return 2
     print(result.table())
+    _write_outputs(result, args)
     return 0
 
 
@@ -163,6 +286,8 @@ def store_main(argv: list[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro-experiment store",
+        parents=[_run_options(duration_ms=4.0, seed=31),
+                 _sweep_options()],
         description="Sweep the compressed block store "
                     "(read fraction x cache size x dispatch policy).",
     )
@@ -178,16 +303,12 @@ def store_main(argv: list[str]) -> int:
                         help="dispatch policies to compare")
     parser.add_argument("--load-gbps", type=float, default=36.0,
                         help="offered load in GB/s")
-    parser.add_argument("--duration-ms", type=float, default=4.0,
-                        help="virtual stream duration per run")
     parser.add_argument("--blocks", type=int, default=512,
                         help="logical block space size")
     parser.add_argument("--block-kib", type=int, default=64,
                         help="logical block size in KiB")
-    parser.add_argument("--tenants", type=int, default=4)
     parser.add_argument("--zipf-theta", type=float, default=0.99,
                         help="key-popularity skew (YCSB default 0.99)")
-    parser.add_argument("--seed", type=int, default=31)
     parser.add_argument("--no-spill", action="store_true",
                         help="disable the CPU-software spill device")
     args = parser.parse_args(argv)
@@ -204,11 +325,13 @@ def store_main(argv: list[str]) -> int:
             zipf_theta=args.zipf_theta,
             seed=args.seed,
             spill=not args.no_spill,
+            workers=args.workers,
         )
     except ReproError as error:
         print(f"repro-experiment store: error: {error}", file=sys.stderr)
         return 2
     print(result.table())
+    _write_outputs(result, args)
     return 0
 
 
@@ -223,6 +346,8 @@ def slo_main(argv: list[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro-experiment slo",
+        parents=[_run_options(duration_ms=3.0, seed=11),
+                 _sweep_options()],
         description="Sweep SLO-class deadline-miss rates under a "
                     "mid-run device brown-out "
                     "(brown-out timing x SLO mix x policy).",
@@ -245,13 +370,9 @@ def slo_main(argv: list[str]) -> int:
                         help="dispatch policies to compare")
     parser.add_argument("--load-gbps", type=float, default=40.0,
                         help="offered load in GB/s")
-    parser.add_argument("--duration-ms", type=float, default=3.0,
-                        help="virtual stream duration per run")
     parser.add_argument("--queue-limit", type=int, default=6,
                         help="per-device queue depth (shallow queues "
                              "push backpressure into the scheduler)")
-    parser.add_argument("--tenants", type=int, default=4)
-    parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--spill", action="store_true",
                         help="add the CPU-software spill device")
     args = parser.parse_args(argv)
@@ -268,11 +389,13 @@ def slo_main(argv: list[str]) -> int:
             queue_limit=args.queue_limit,
             seed=args.seed,
             spill=args.spill,
+            workers=args.workers,
         )
     except ReproError as error:
         print(f"repro-experiment slo: error: {error}", file=sys.stderr)
         return 2
     print(result.table())
+    _write_outputs(result, args)
     return 0
 
 
@@ -280,6 +403,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "cluster":
         return cluster_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     if argv and argv[0] == "service":
         return service_main(argv[1:])
     if argv and argv[0] == "store":
@@ -291,9 +416,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("names", nargs="*",
                         help="experiment ids (default: all), or the "
-                             "'cluster'/'service'/'store'/'slo' "
+                             "'cluster'/'sweep'/'service'/'store'/'slo' "
                              "subcommands (see e.g. "
-                             "'repro-experiment cluster --help')")
+                             "'repro-experiment sweep --help')")
     parser.add_argument("--full", action="store_true",
                         help="paper-scale workloads instead of quick mode")
     parser.add_argument("--list", action="store_true",
@@ -304,7 +429,7 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
     names = args.names or sorted(REGISTRY)
-    for subcommand in ("cluster", "service", "store", "slo"):
+    for subcommand in SUBCOMMANDS:
         if subcommand in names:
             # Flags placed before the subcommand land here; point at the
             # required ordering instead of "unknown experiment '...'".

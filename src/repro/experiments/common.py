@@ -47,6 +47,32 @@ class ExperimentResult:
             )
         return matches[0][column]
 
+    # -- export (same flat-row formats as repro.sweep.SweepResult) -------------
+
+    def to_csv(self, path: str | None = None) -> str:
+        """The rows as CSV; also written to ``path`` if given."""
+        from repro.sweep.result import rows_to_csv
+        text = rows_to_csv(self.rows)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text
+
+    def to_json(self, path: str | None = None,
+                indent: int | None = 2) -> str:
+        """The result as a JSON document; also written if ``path``."""
+        import json
+        text = json.dumps({
+            "experiment": self.experiment_id,
+            "title": self.title,
+            "notes": self.notes,
+            "rows": self.rows,
+        }, indent=indent)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text
+
 
 #: Registry populated by :mod:`repro.experiments` at import time.
 REGISTRY: dict[str, Callable[..., ExperimentResult]] = {}

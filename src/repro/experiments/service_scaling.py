@@ -8,18 +8,20 @@ cost-model dispatch sustains the highest goodput past saturation while
 placement-oblivious policies shed on their slowest member, and (c) tail
 latency separates the policies well before throughput does.
 
-Each run is declared as a :class:`~repro.cluster.ClusterSpec` and
-served through the :class:`~repro.cluster.Cluster` façade; calibrated
-cost models are cached process-wide, so the sweep calibrates each
-distinct device once.
+The whole experiment is one declarative :class:`~repro.sweep.SweepSpec`
+(:func:`build_sweep`) — a base cluster plus mix/load/policy axes —
+executed through :class:`~repro.sweep.SweepRunner` (``workers=N``
+fans the grid over a process pool); this module only builds the spec
+and re-labels the unified rows.
 """
 
 from __future__ import annotations
 
-from repro.cluster import Cluster, ClusterSpec, DeviceSpec, FleetSpec
+from repro.cluster import ClusterSpec, DeviceSpec, FleetSpec
 from repro.errors import ServiceError
 from repro.experiments.common import ExperimentResult, register
-from repro.service import OpenLoopStream
+from repro.sweep import AxisPoint, SweepAxis, SweepRunner, SweepSpec, \
+    WorkloadSpec
 
 DEFAULT_POLICIES = ("static", "round-robin", "shortest-queue", "cost-model")
 
@@ -39,48 +41,82 @@ MIXES: dict[str, tuple[DeviceSpec, ...]] = {
 SPILL = DeviceSpec("cpu", algorithm="snappy", threads=16)
 
 
+def mix_axis(mixes: tuple[str, ...]) -> SweepAxis:
+    """A named-mix axis overriding the whole fleet device list."""
+    for mix_name in mixes:
+        if mix_name not in MIXES:
+            raise ServiceError(
+                f"unknown fleet mix {mix_name!r}; known: {sorted(MIXES)}"
+            )
+    return SweepAxis("mix", tuple(
+        AxisPoint(label=mix_name,
+                  overrides={"fleet.devices": MIXES[mix_name]})
+        for mix_name in mixes))
+
+
+def build_sweep(loads_gbps: tuple[float, ...],
+                policies: tuple[str, ...] = DEFAULT_POLICIES,
+                mixes: tuple[str, ...] = ("mixed",),
+                duration_ns: float = 2e6,
+                tenants: int = 4,
+                seed: int = 29,
+                spill: bool = True) -> SweepSpec:
+    """The full cross product as one declarative sweep description."""
+    if not loads_gbps:
+        raise ServiceError("need at least one offered-load point")
+    # Build the mix axis first: it validates every mix name with a
+    # helpful ServiceError before MIXES[mixes[0]] could KeyError.
+    mixes_axis = mix_axis(mixes)
+    return SweepSpec(
+        cluster=ClusterSpec(
+            fleet=FleetSpec(devices=MIXES[mixes[0]],
+                            spill=SPILL if spill else None),
+        ),
+        workload=WorkloadSpec(mode="open-loop",
+                              duration_ns=duration_ns,
+                              offered_gbps=loads_gbps[0],
+                              tenants=tenants),
+        axes=(
+            mixes_axis,
+            SweepAxis.over("offered_gbps", "workload.offered_gbps",
+                           loads_gbps),
+            SweepAxis.over("policy", "policy", policies),
+        ),
+        root_seed=seed,
+    )
+
+
 def run_sweep(loads_gbps: tuple[float, ...],
               policies: tuple[str, ...] = DEFAULT_POLICIES,
               mixes: tuple[str, ...] = ("mixed",),
               duration_ns: float = 2e6,
               tenants: int = 4,
               seed: int = 29,
-              spill: bool = True) -> ExperimentResult:
+              spill: bool = True,
+              workers: int = 0) -> ExperimentResult:
     """Run the full cross product and tabulate per-run service reports."""
+    spec = build_sweep(loads_gbps=loads_gbps, policies=policies,
+                       mixes=mixes, duration_ns=duration_ns,
+                       tenants=tenants, seed=seed, spill=spill)
+    sweep = SweepRunner(spec, workers=workers).run()
     result = ExperimentResult(
         experiment_id="service_scaling",
         title="Offload service: goodput/latency by load, mix and policy",
         notes="open-loop Poisson arrivals; spill device: cpu-snappy"
         if spill else "open-loop Poisson arrivals; no spill device",
     )
-    for mix_name in mixes:
-        if mix_name not in MIXES:
-            raise ServiceError(
-                f"unknown fleet mix {mix_name!r}; known: {sorted(MIXES)}"
-            )
-        for load in loads_gbps:
-            stream = OpenLoopStream(offered_gbps=load,
-                                    duration_ns=duration_ns,
-                                    tenants=tenants, seed=seed)
-            for policy in policies:
-                spec = ClusterSpec(
-                    fleet=FleetSpec(devices=MIXES[mix_name],
-                                    spill=SPILL if spill else None),
-                    policy=policy,
-                )
-                cluster = Cluster.from_spec(spec)
-                cluster.open_loop(stream)
-                report = cluster.run().service
-                result.rows.append({
-                    "mix": mix_name,
-                    "offered_gbps": load,
-                    "policy": policy,
-                    "completed_gbps": report.completed_gbps,
-                    "p50_us": report.p50_us,
-                    "p99_us": report.p99_us,
-                    "spilled": report.spilled,
-                    "shed": report.shed,
-                })
+    for point, run in sweep:
+        report = run.service
+        result.rows.append({
+            "mix": point.coords["mix"],
+            "offered_gbps": point.coords["offered_gbps"],
+            "policy": point.coords["policy"],
+            "completed_gbps": report.completed_gbps,
+            "p50_us": report.p50_us,
+            "p99_us": report.p99_us,
+            "spilled": report.spilled,
+            "shed": report.shed,
+        })
     return result
 
 

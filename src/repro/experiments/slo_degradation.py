@@ -9,16 +9,17 @@ deadline-aware scheduler across SLO mixes: per-class deadline-miss
 rates show the flat policy spreading the pain evenly while the
 SLO-aware control plane concentrates it on the batch tier.
 
-The brown-out is no longer imperative wiring: each run's
-:class:`~repro.cluster.ClusterSpec` carries the derating as a
-declarative :class:`~repro.cluster.ReconfigEvent` in its
-reconfiguration schedule.
+The whole experiment is one declarative :class:`~repro.sweep.SweepSpec`
+(:func:`build_sweep`): the brown-out axis overrides each point's
+``reconfig`` schedule with a :class:`~repro.cluster.ReconfigEvent`,
+the mix axis overrides ``slo_mix``, and
+:class:`~repro.sweep.SweepRunner` executes the grid (``workers=N``
+for a process pool).
 """
 
 from __future__ import annotations
 
 from repro.cluster import (
-    Cluster,
     ClusterSpec,
     FleetSpec,
     ReconfigEvent,
@@ -29,6 +30,8 @@ from repro.errors import ServiceError
 from repro.experiments.common import ExperimentResult, register
 from repro.experiments.service_scaling import MIXES, SPILL
 from repro.service import SloClass
+from repro.sweep import AxisPoint, SweepAxis, SweepRunner, SweepSpec, \
+    WorkloadSpec
 
 DEFAULT_POLICIES = ("cost-model", "deadline")
 
@@ -50,6 +53,88 @@ def _slo_mix_spec(mix_name: str) -> tuple[SloShare, ...]:
                  for cls, weight in SLO_MIXES[mix_name])
 
 
+def slo_mix_axis(mixes: tuple[str, ...]) -> SweepAxis:
+    """A named-mix axis overriding the cluster's whole ``slo_mix``."""
+    for mix_name in mixes:
+        if mix_name not in SLO_MIXES:
+            raise ServiceError(
+                f"unknown SLO mix {mix_name!r}; known: {sorted(SLO_MIXES)}"
+            )
+    return SweepAxis("mix", tuple(
+        AxisPoint(label=mix_name,
+                  overrides={"slo_mix": _slo_mix_spec(mix_name)})
+        for mix_name in mixes))
+
+
+def brownout_axis(brownout_fracs: tuple[float | None, ...],
+                  duration_ns: float,
+                  device: str,
+                  speed_factor: float) -> SweepAxis:
+    """Brown-out instants as ``reconfig``-schedule overrides.
+
+    ``None`` is the healthy baseline (empty schedule), labelled
+    ``-1.0`` in result rows so the column stays numeric.
+    """
+    points = []
+    for frac in brownout_fracs:
+        if frac is None:
+            points.append(AxisPoint(label=-1.0,
+                                    overrides={"reconfig": []}))
+            continue
+        event = ReconfigEvent(at_ns=frac * duration_ns,
+                              action="brown-out", device=device,
+                              speed_factor=speed_factor)
+        points.append(AxisPoint(label=frac,
+                                overrides={"reconfig": [event]}))
+    return SweepAxis("brownout_at", tuple(points))
+
+
+def build_sweep(brownout_fracs: tuple[float | None, ...] = (None, 0.33),
+                mixes: tuple[str, ...] = ("fg-heavy",),
+                policies: tuple[str, ...] = DEFAULT_POLICIES,
+                offered_gbps: float = 40.0,
+                duration_ns: float = 3e6,
+                speed_factor: float = 0.15,
+                device: str = "qat8970",
+                tenants: int = 4,
+                queue_limit: int = 6,
+                seed: int = 11,
+                spill: bool = False) -> SweepSpec:
+    """The full cross product as one declarative sweep description.
+
+    Device queues are kept shallow (``queue_limit``) so backpressure
+    reaches the scheduler, where dispatch order and shedding policy
+    differ between the schedulers under test.
+    """
+    if not 0.0 < speed_factor <= 1.0:
+        raise ServiceError(
+            f"speed factor {speed_factor} outside (0, 1]"
+        )
+    # Build the mix axis first: it validates every mix name with a
+    # helpful ServiceError before _slo_mix_spec(mixes[0]) could
+    # KeyError.
+    mixes_axis = slo_mix_axis(mixes)
+    return SweepSpec(
+        cluster=ClusterSpec(
+            fleet=FleetSpec(devices=MIXES["mixed"],
+                            spill=SPILL if spill else None,
+                            queue_limit=queue_limit),
+            slo_mix=_slo_mix_spec(mixes[0]),
+        ),
+        workload=WorkloadSpec(mode="open-loop",
+                              offered_gbps=offered_gbps,
+                              duration_ns=duration_ns,
+                              tenants=tenants),
+        axes=(
+            mixes_axis,
+            brownout_axis(brownout_fracs, duration_ns, device,
+                          speed_factor),
+            SweepAxis.over("policy", "policy", policies),
+        ),
+        root_seed=seed,
+    )
+
+
 def run_sweep(brownout_fracs: tuple[float | None, ...] = (None, 0.33),
               mixes: tuple[str, ...] = ("fg-heavy",),
               policies: tuple[str, ...] = DEFAULT_POLICIES,
@@ -60,19 +145,20 @@ def run_sweep(brownout_fracs: tuple[float | None, ...] = (None, 0.33),
               tenants: int = 4,
               queue_limit: int = 6,
               seed: int = 11,
-              spill: bool = False) -> ExperimentResult:
+              spill: bool = False,
+              workers: int = 0) -> ExperimentResult:
     """Run the full cross product and tabulate per-class miss rates.
 
     ``brownout_fracs`` entries are fractions of the stream duration at
     which ``device`` derates to ``speed_factor`` (``None`` = healthy
-    baseline).  Device queues are kept shallow (``queue_limit``) so
-    backpressure reaches the scheduler, where dispatch order and
-    shedding policy differ between the schedulers under test.
+    baseline).
     """
-    if not 0.0 < speed_factor <= 1.0:
-        raise ServiceError(
-            f"speed factor {speed_factor} outside (0, 1]"
-        )
+    spec = build_sweep(brownout_fracs=brownout_fracs, mixes=mixes,
+                       policies=policies, offered_gbps=offered_gbps,
+                       duration_ns=duration_ns, speed_factor=speed_factor,
+                       device=device, tenants=tenants,
+                       queue_limit=queue_limit, seed=seed, spill=spill)
+    sweep = SweepRunner(spec, workers=workers).run()
     result = ExperimentResult(
         experiment_id="slo_degradation",
         title="SLO classes under brown-out: miss rates by timing, "
@@ -82,45 +168,20 @@ def run_sweep(brownout_fracs: tuple[float | None, ...] = (None, 0.33),
               + ("; spill device: cpu-snappy" if spill
                  else "; no spill device"),
     )
-    for mix_name in mixes:
-        if mix_name not in SLO_MIXES:
-            raise ServiceError(
-                f"unknown SLO mix {mix_name!r}; known: {sorted(SLO_MIXES)}"
-            )
-        for brownout_frac in brownout_fracs:
-            reconfig = ()
-            if brownout_frac is not None:
-                reconfig = (ReconfigEvent(
-                    at_ns=brownout_frac * duration_ns,
-                    action="brown-out", device=device,
-                    speed_factor=speed_factor),)
-            for policy in policies:
-                spec = ClusterSpec(
-                    fleet=FleetSpec(devices=MIXES["mixed"],
-                                    spill=SPILL if spill else None,
-                                    queue_limit=queue_limit),
-                    policy=policy,
-                    slo_mix=_slo_mix_spec(mix_name),
-                    reconfig=reconfig,
-                )
-                cluster = Cluster.from_spec(spec)
-                cluster.open_loop(offered_gbps=offered_gbps,
-                                  duration_ns=duration_ns,
-                                  tenants=tenants, seed=seed)
-                report = cluster.run().service
-                result.rows.append({
-                    "mix": mix_name,
-                    "brownout_at": (brownout_frac
-                                    if brownout_frac is not None else -1.0),
-                    "policy": policy,
-                    "completed_gbps": report.completed_gbps,
-                    "fg_miss_rate": report.slo_miss_rate("interactive"),
-                    "bg_miss_rate": report.slo_miss_rate("batch"),
-                    "fg_p99_us": next(
-                        (row["p99_us"] for row in report.slo_breakdown
-                         if row["slo"] == "interactive"), 0.0),
-                    "shed": report.shed,
-                })
+    for point, run in sweep:
+        report = run.service
+        result.rows.append({
+            "mix": point.coords["mix"],
+            "brownout_at": point.coords["brownout_at"],
+            "policy": point.coords["policy"],
+            "completed_gbps": report.completed_gbps,
+            "fg_miss_rate": report.slo_miss_rate("interactive"),
+            "bg_miss_rate": report.slo_miss_rate("batch"),
+            "fg_p99_us": next(
+                (row["p99_us"] for row in report.slo_breakdown
+                 if row["slo"] == "interactive"), 0.0),
+            "shed": report.shed,
+        })
     return result
 
 

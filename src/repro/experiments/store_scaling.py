@@ -10,19 +10,19 @@ rates flag when the next doubling of cache capacity still pays; and
 compress traffic under cost-model dispatch (the per-op calibrated
 budgets disagree about the fastest device — Figure 12's two panels).
 
-Each run is one :class:`~repro.cluster.ClusterSpec` with a ``store``
-section, served through the :class:`~repro.cluster.Cluster` façade's
-store client.
+The whole experiment is one declarative :class:`~repro.sweep.SweepSpec`
+(:func:`build_sweep`) with a ``store`` section and mixed GET/PUT
+workload, executed through :class:`~repro.sweep.SweepRunner`.
 """
 
 from __future__ import annotations
 
-from repro.cluster import Cluster, ClusterSpec, FleetSpec, StoreSpec
+from repro.cluster import ClusterSpec, FleetSpec, StoreSpec
 from repro.errors import ServiceError
 from repro.experiments.common import ExperimentResult, register
 from repro.experiments.service_scaling import MIXES, SPILL
 from repro.store import StoreReport
-from repro.workloads import MixedStream
+from repro.sweep import SweepAxis, SweepRunner, SweepSpec, WorkloadSpec
 
 DEFAULT_POLICIES = ("round-robin", "cost-model")
 
@@ -45,6 +45,44 @@ def placement_shift(report: StoreReport) -> float:
                for p in placements)
 
 
+def build_sweep(read_fractions: tuple[float, ...] = (0.5, 0.9),
+                cache_blocks: tuple[int, ...] = (0, 64, 256),
+                policies: tuple[str, ...] = DEFAULT_POLICIES,
+                offered_gbps: float = 36.0,
+                duration_ns: float = 4e6,
+                blocks: int = 512,
+                block_bytes: int = 65536,
+                tenants: int = 4,
+                zipf_theta: float = 0.99,
+                seed: int = 31,
+                spill: bool = True) -> SweepSpec:
+    """The full cross product as one declarative sweep description."""
+    if offered_gbps <= 0:
+        raise ServiceError(f"offered load must be > 0, got {offered_gbps}")
+    return SweepSpec(
+        cluster=ClusterSpec(
+            fleet=FleetSpec(devices=MIXES["mixed"],
+                            spill=SPILL if spill else None,
+                            ops=("compress", "decompress")),
+            store=StoreSpec(block_bytes=block_bytes),
+        ),
+        workload=WorkloadSpec(mode="store",
+                              offered_gbps=offered_gbps,
+                              duration_ns=duration_ns,
+                              tenants=tenants,
+                              blocks=blocks,
+                              zipf_theta=zipf_theta),
+        axes=(
+            SweepAxis.over("read_frac", "workload.read_fraction",
+                           read_fractions),
+            SweepAxis.over("cache_blocks", "store.cache_blocks",
+                           cache_blocks),
+            SweepAxis.over("policy", "policy", policies),
+        ),
+        root_seed=seed,
+    )
+
+
 def run_sweep(read_fractions: tuple[float, ...] = (0.5, 0.9),
               cache_blocks: tuple[int, ...] = (0, 64, 256),
               policies: tuple[str, ...] = DEFAULT_POLICIES,
@@ -55,10 +93,16 @@ def run_sweep(read_fractions: tuple[float, ...] = (0.5, 0.9),
               tenants: int = 4,
               zipf_theta: float = 0.99,
               seed: int = 31,
-              spill: bool = True) -> ExperimentResult:
+              spill: bool = True,
+              workers: int = 0) -> ExperimentResult:
     """Run the full cross product and tabulate per-run store reports."""
-    if offered_gbps <= 0:
-        raise ServiceError(f"offered load must be > 0, got {offered_gbps}")
+    spec = build_sweep(read_fractions=read_fractions,
+                       cache_blocks=cache_blocks, policies=policies,
+                       offered_gbps=offered_gbps, duration_ns=duration_ns,
+                       blocks=blocks, block_bytes=block_bytes,
+                       tenants=tenants, zipf_theta=zipf_theta,
+                       seed=seed, spill=spill)
+    sweep = SweepRunner(spec, workers=workers).run()
     result = ExperimentResult(
         experiment_id="store_scaling",
         title="Block store: read latency by read mix, cache size and policy",
@@ -66,40 +110,22 @@ def run_sweep(read_fractions: tuple[float, ...] = (0.5, 0.9),
               f"{blocks} x {block_bytes // 1024} KiB Zipfian blocks; "
               + ("spill device: cpu-snappy" if spill else "no spill device"),
     )
-    for read_fraction in read_fractions:
-        stream = MixedStream(offered_gbps=offered_gbps,
-                             duration_ns=duration_ns,
-                             read_fraction=read_fraction,
-                             blocks=blocks, block_bytes=block_bytes,
-                             tenants=tenants, zipf_theta=zipf_theta,
-                             seed=seed)
-        for cache in cache_blocks:
-            for policy in policies:
-                spec = ClusterSpec(
-                    fleet=FleetSpec(devices=MIXES["mixed"],
-                                    spill=SPILL if spill else None,
-                                    ops=("compress", "decompress")),
-                    policy=policy,
-                    store=StoreSpec(block_bytes=block_bytes,
-                                    cache_blocks=cache),
-                )
-                cluster = Cluster.from_spec(spec)
-                cluster.store_client(stream)
-                report = cluster.run().store
-                result.rows.append({
-                    "read_frac": read_fraction,
-                    "cache_blocks": cache,
-                    "policy": policy,
-                    "hit_rate": report.hit_rate,
-                    "ghost_rate": report.ghost_hit_rate,
-                    "read_gbps": report.read_gbps,
-                    "read_p50_us": report.read_p50_us,
-                    "read_p99_us": report.read_p99_us,
-                    "write_p99_us": report.write_p99_us,
-                    "placement_shift": placement_shift(report),
-                    "shed": (report.service.shed
-                             if report.service is not None else 0),
-                })
+    for point, run in sweep:
+        report = run.store
+        result.rows.append({
+            "read_frac": point.coords["read_frac"],
+            "cache_blocks": point.coords["cache_blocks"],
+            "policy": point.coords["policy"],
+            "hit_rate": report.hit_rate,
+            "ghost_rate": report.ghost_hit_rate,
+            "read_gbps": report.read_gbps,
+            "read_p50_us": report.read_p50_us,
+            "read_p99_us": report.read_p99_us,
+            "write_p99_us": report.write_p99_us,
+            "placement_shift": placement_shift(report),
+            "shed": (report.service.shed
+                     if report.service is not None else 0),
+        })
     return result
 
 

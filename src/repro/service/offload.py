@@ -400,8 +400,9 @@ def run_offload_service(
     from repro.cluster.session import Cluster
 
     warnings.warn(
-        "run_offload_service is deprecated; build a repro.cluster.Cluster "
-        "and attach an open-loop client instead",
+        "run_offload_service is deprecated; use Cluster.from_spec with a "
+        "ClusterSpec and attach an open-loop client instead "
+        "(see repro.cluster)",
         DeprecationWarning, stacklevel=2,
     )
     sim = Simulator()

@@ -176,9 +176,11 @@ class CompressedBlockStore:
         self.media_overhead_ns = media_overhead_ns
         self.media_per_byte_ns = media_per_byte_ns
         self.metrics = StoreMetrics()
-        #: Arrival times of readers waiting on an in-flight decompress,
-        #: keyed by block — the duplicate-fetch coalescing state.
-        self._pending_reads: dict[int, list[float]] = {}
+        #: Readers waiting on an in-flight decompress, keyed by block:
+        #: (arrival time, completion callback) pairs — the
+        #: duplicate-fetch coalescing state.
+        self._pending_reads: dict[
+            int, list[tuple[float, Callable[[str], None] | None]]] = {}
         #: Completions at or before this instant count toward goodput.
         self.measure_until_ns: float | None = None
 
@@ -203,8 +205,14 @@ class CompressedBlockStore:
 
     # -- write path -------------------------------------------------------------
 
-    def put(self, block: int, tenant: int, ratio: float) -> str:
-        """Write one logical block; returns the service outcome."""
+    def put(self, block: int, tenant: int, ratio: float,
+            on_done: Callable[[str], None] | None = None) -> str:
+        """Write one logical block; returns the service outcome.
+
+        ``on_done`` (if given) fires exactly once when the write
+        finishes, with ``"completed"`` or ``"dropped"`` — the hook
+        closed-loop store clients hang their in-flight windows on.
+        """
         arrival = self.sim.now
         self.metrics.writes += 1
         request = OffloadRequest(tenant=tenant, nbytes=self.block_bytes,
@@ -223,40 +231,55 @@ class CompressedBlockStore:
             if (self.measure_until_ns is None
                     or self.sim.now <= self.measure_until_ns):
                 self.metrics.window_write_bytes += self.block_bytes
+            if on_done is not None:
+                on_done("completed")
 
         def dropped(req: OffloadRequest) -> None:
             # Fires on a synchronous shed *or* a later eviction of the
             # queued write by higher-priority work.
             self.metrics.failed_writes += 1
+            if on_done is not None:
+                on_done("dropped")
 
         return self.service.submit(request, on_complete=completed,
                                    on_drop=dropped)
 
     # -- read path --------------------------------------------------------------
 
-    def get(self, block: int, tenant: int) -> str:
+    def get(self, block: int, tenant: int,
+            on_done: Callable[[str], None] | None = None) -> str:
         """Read one logical block; returns 'hit', 'coalesced', 'miss'
-        or 'shed'."""
+        or 'shed'.
+
+        ``on_done`` (if given) fires exactly once when the read
+        finishes, with ``"completed"`` or ``"dropped"`` — coalesced
+        waiters each get their own callback when the shared in-flight
+        decompress lands.
+        """
         arrival = self.sim.now
         self.metrics.reads += 1
         if self.cache.lookup(block):
-            self.sim.spawn(self._serve_hit(arrival))
+            self.sim.spawn(self._serve_hit(arrival, on_done))
             return "hit"
         if block in self._pending_reads:
             # Another reader already has this block's decompress in
             # flight — piggyback instead of re-fetching.
-            self._pending_reads[block].append(arrival)
+            self._pending_reads[block].append((arrival, on_done))
             self.metrics.coalesced_reads += 1
             return "coalesced"
         location = self.blockmap.lookup(block)
-        self._pending_reads[block] = [arrival]
+        self._pending_reads[block] = [(arrival, on_done)]
         self.sim.spawn(self._serve_miss(block, tenant, location.length))
         return "miss"
 
-    def _serve_hit(self, arrival_ns: float) -> Generator[Any, Any, None]:
+    def _serve_hit(self, arrival_ns: float,
+                   on_done: Callable[[str], None] | None = None,
+                   ) -> Generator[Any, Any, None]:
         yield self.sim.timeout(self.hit_overhead_ns
                                + self.hit_per_byte_ns * self.block_bytes)
         self._finish_read(arrival_ns, self.metrics.hit_latency)
+        if on_done is not None:
+            on_done("completed")
 
     def _serve_miss(self, block: int, tenant: int,
                     compressed_len: int) -> Generator[Any, Any, None]:
@@ -273,14 +296,20 @@ class CompressedBlockStore:
         def completed(req: OffloadRequest, device: FleetDevice,
                       cost: ModeledCost) -> None:
             self.cache.insert(block)
-            for waiter_arrival in self._pending_reads.pop(block, []):
+            for waiter_arrival, waiter_done in \
+                    self._pending_reads.pop(block, []):
                 self._finish_read(waiter_arrival, self.metrics.miss_latency)
+                if waiter_done is not None:
+                    waiter_done("completed")
 
         def dropped(req: OffloadRequest) -> None:
             # Fires on a synchronous shed *or* a later eviction of the
             # queued decompress; every coalesced waiter fails with it.
             waiters = self._pending_reads.pop(block, [])
             self.metrics.failed_reads += len(waiters)
+            for _, waiter_done in waiters:
+                if waiter_done is not None:
+                    waiter_done("dropped")
 
         self.service.submit(request, on_complete=completed,
                             on_drop=dropped)
@@ -410,8 +439,9 @@ def run_block_store(
     from repro.cluster.session import Cluster
 
     warnings.warn(
-        "run_block_store is deprecated; build a repro.cluster.Cluster "
-        "with a store section and attach a store client instead",
+        "run_block_store is deprecated; use Cluster.from_spec with a "
+        "ClusterSpec carrying a store section and attach a store client "
+        "instead (see repro.cluster)",
         DeprecationWarning, stacklevel=2,
     )
     sim = Simulator()

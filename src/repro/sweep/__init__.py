@@ -1,0 +1,68 @@
+"""Declarative parameter sweeps over the cluster API.
+
+The experiments layer's common shape — a base cluster, a few named
+knobs, the full cross product, one flat results table — as a
+first-class, serializable API:
+
+>>> from repro.sweep import SweepAxis, SweepSpec, WorkloadSpec
+>>> from repro.cluster import ClusterSpec, DeviceSpec, FleetSpec
+>>> spec = SweepSpec(
+...     cluster=ClusterSpec(fleet=FleetSpec(devices=(DeviceSpec("dpzip"),))),
+...     workload=WorkloadSpec(offered_gbps=8.0, duration_ns=5e5),
+...     axes=(SweepAxis.over("policy", "policy",
+...                          ("round-robin", "cost-model")),),
+... )
+>>> len(spec.expand())
+2
+
+A :class:`SweepSpec` round-trips through JSON
+(``SweepSpec.from_json(spec.to_json()) == spec``), so whole
+experiments live in checked-in ``sweep.json`` documents and run with
+``repro-experiment sweep --spec sweep.json --workers N``.
+:class:`SweepRunner` executes the grid inline or over a
+multiprocessing pool — same root seed, row-for-row identical results
+either way — and :class:`SweepResult` concatenates every point's
+unified run report into one tagged flat table with CSV/JSON export.
+"""
+
+from repro.sweep.result import (
+    SweepFailure,
+    SweepResult,
+    rows_to_csv,
+    union_fieldnames,
+)
+from repro.sweep.runner import SweepRunner, attach_workload, run_point, \
+    run_sweep_spec
+from repro.sweep.spec import (
+    RESERVED_COLUMNS,
+    WORKLOAD_MODES,
+    AxisPoint,
+    SweepAxis,
+    SweepFilter,
+    SweepPoint,
+    SweepSpec,
+    WorkloadSpec,
+    document_hash,
+    example_sweep_spec,
+)
+
+__all__ = [
+    "AxisPoint",
+    "RESERVED_COLUMNS",
+    "SweepAxis",
+    "SweepFailure",
+    "SweepFilter",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "WORKLOAD_MODES",
+    "WorkloadSpec",
+    "attach_workload",
+    "document_hash",
+    "example_sweep_spec",
+    "rows_to_csv",
+    "run_point",
+    "run_sweep_spec",
+    "union_fieldnames",
+]

@@ -1,0 +1,143 @@
+"""Unified sweep results: one flat table across every grid point.
+
+A :class:`SweepResult` concatenates each point's
+:class:`~repro.cluster.result.RunResult` into tagged flat rows — axis
+coordinates first, then the sweep-owned ``point``/``spec_hash``/
+``seed`` columns, then the merged service/store columns of
+``RunResult.row()`` — so a whole grid prints as one table and exports
+as one CSV or JSON document.  The full ``RunResult`` objects stay
+attached for deep dives (SLO breakdowns, placement shares, per-client
+rows), which is what the experiment modules derive their bespoke
+columns from.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+
+from repro.cluster.result import RunResult
+from repro.errors import SweepError
+from repro.sweep.spec import SweepPoint, SweepSpec
+
+
+def union_fieldnames(rows: list[dict]) -> list[str]:
+    """Every column across ``rows``, ordered by first appearance."""
+    names: dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            names.setdefault(key, None)
+    return list(names)
+
+
+def rows_to_csv(rows: list[dict]) -> str:
+    """Serialize flat rows as CSV (union header, blanks for holes)."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=union_fieldnames(rows),
+                            restval="", lineterminator="\n")
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+@dataclass
+class SweepFailure:
+    """One grid point that raised instead of reporting (continue mode)."""
+
+    index: int
+    coords: dict
+    error: str
+
+    def row(self) -> dict:
+        return {"point": self.index, **self.coords, "error": self.error}
+
+
+@dataclass
+class SweepResult:
+    """One sweep's outcome: resolved points, per-point results, failures.
+
+    ``results[i]`` is the :class:`RunResult` for ``points[i]``, or
+    ``None`` when that point failed (only possible under the runner's
+    continue-on-error mode; failures carry the error text).
+    """
+
+    spec: SweepSpec
+    points: tuple[SweepPoint, ...]
+    results: list[RunResult | None] = field(default_factory=list)
+    failures: list[SweepFailure] = field(default_factory=list)
+
+    def __iter__(self):
+        """Yields ``(point, run_result)`` for every successful point."""
+        for point, result in zip(self.points, self.results):
+            if result is not None:
+                yield point, result
+
+    def run_for(self, **coords) -> RunResult:
+        """The one successful run whose coordinates match ``coords``."""
+        matches = [
+            (point, result) for point, result in self
+            if all(point.coords.get(axis) == label
+                   for axis, label in coords.items())
+        ]
+        if len(matches) != 1:
+            raise SweepError(
+                f"{len(matches)} sweep points match {coords}"
+            )
+        return matches[0][1]
+
+    # -- flat views ------------------------------------------------------------
+
+    @staticmethod
+    def _tagged(point: SweepPoint, merged: dict) -> dict:
+        # Coordinates are the grid identity — a report column sharing
+        # an axis name (e.g. a "policy" axis with custom labels) must
+        # never overwrite them, so tags go first and merged columns
+        # only fill names not already taken.
+        row = {**point.coords, "point": point.index,
+               "spec_hash": point.spec_hash, "seed": point.seed}
+        for key, value in merged.items():
+            row.setdefault(key, value)
+        return row
+
+    def rows(self) -> list[dict]:
+        """One merged flat row per successful point, tagged with its
+        axis coordinates, grid index, spec hash and seed."""
+        return [self._tagged(point, result.row())
+                for point, result in self]
+
+    def client_rows(self) -> list[dict]:
+        """Per-client rows across every point, tagged the same way."""
+        return [
+            self._tagged(point, client_row)
+            for point, result in self
+            for client_row in result.clients
+        ]
+
+    def table(self, floatfmt: str = ".2f") -> str:
+        from repro.profiling.report import format_table
+        return format_table(self.rows(), floatfmt=floatfmt)
+
+    # -- export ----------------------------------------------------------------
+
+    def to_csv(self, path: str | None = None) -> str:
+        """The flat table as CSV; also written to ``path`` if given."""
+        text = rows_to_csv(self.rows())
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text
+
+    def to_json(self, path: str | None = None,
+                indent: int | None = 2) -> str:
+        """Rows plus failures as a JSON document; optionally written."""
+        text = json.dumps({
+            "root_seed": self.spec.root_seed,
+            "rows": self.rows(),
+            "failures": [failure.row() for failure in self.failures],
+        }, indent=indent)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text

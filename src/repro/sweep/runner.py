@@ -1,0 +1,190 @@
+"""Executes a sweep grid: inline or across a worker-process pool.
+
+Each grid point is an independent simulation — the sweeps are
+embarrassingly parallel, so :class:`SweepRunner` runs them either
+inline (``workers=0``) or over a ``multiprocessing`` pool.  Every
+point's RNGs are seeded from the spec's root seed and the point's own
+coordinates (never from execution order), so a parallel run produces
+row-for-row identical results to a serial one.
+
+Device cost-model calibration runs the real codecs and is cached
+process-wide (:mod:`repro.cluster.session`); the runner pre-warms that
+cache for every distinct device in the grid *before* forking, so
+worker processes inherit calibrated models instead of re-running the
+codecs once per worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable
+
+from repro.cluster.session import Cluster, build_device, calibrated_models
+from repro.cluster.result import RunResult
+from repro.errors import ReproError, SweepError
+from repro.sweep.result import SweepFailure, SweepResult
+from repro.sweep.spec import SweepPoint, SweepSpec, WorkloadSpec
+
+#: Progress callback signature: (completed points, total points, point).
+ProgressFn = Callable[[int, int, SweepPoint], None]
+
+
+def attach_workload(cluster: Cluster, workload: WorkloadSpec,
+                    seed: int) -> None:
+    """Attach the clients a :class:`WorkloadSpec` describes.
+
+    ``seed`` is the point's derived stream seed; closed-loop clients
+    get per-connection offsets from it, mirroring what the hand-wired
+    experiments did.
+    """
+    if workload.mode == "open-loop":
+        cluster.open_loop(offered_gbps=workload.offered_gbps,
+                          duration_ns=workload.duration_ns,
+                          tenants=workload.tenants, seed=seed)
+    elif workload.mode == "closed-loop":
+        for index in range(workload.clients):
+            cluster.closed_loop(window=workload.window,
+                                duration_ns=workload.duration_ns,
+                                think_ns=workload.think_ns,
+                                tenant=index % workload.tenants,
+                                seed=seed + index,
+                                name=f"client{index}")
+    else:  # "store" — expand() guarantees the spec has a store section
+        cluster.store_client(offered_gbps=workload.offered_gbps,
+                             duration_ns=workload.duration_ns,
+                             read_fraction=workload.read_fraction,
+                             blocks=workload.blocks,
+                             tenants=workload.tenants,
+                             zipf_theta=workload.zipf_theta,
+                             seed=seed)
+
+
+def run_point(point: SweepPoint) -> RunResult:
+    """Build, drive and report one fully-resolved grid point."""
+    cluster = Cluster.from_spec(point.cluster)
+    attach_workload(cluster, point.workload, point.seed)
+    return cluster.run()
+
+
+def _pool_run_point(point: SweepPoint):
+    """Worker-side wrapper: never raises, ships errors back picklable."""
+    try:
+        return point.index, run_point(point), None
+    except ReproError as error:
+        return point.index, None, f"{type(error).__name__}: {error}"
+
+
+class SweepRunner:
+    """Runs every point of a :class:`SweepSpec` and collects results.
+
+    ``workers=0`` executes inline (deterministic reference order);
+    ``workers=N`` fans points out over ``N`` processes.  Either way the
+    result rows come back in grid order and are identical for the same
+    root seed.  ``on_error`` is ``"raise"`` (fail fast, default) or
+    ``"continue"`` (record the failure, keep sweeping); ``progress``
+    (if given) is called in the parent as each point lands.
+    """
+
+    def __init__(self, spec: SweepSpec, *,
+                 workers: int = 0,
+                 on_error: str = "raise",
+                 progress: ProgressFn | None = None) -> None:
+        if workers < 0:
+            raise SweepError(f"workers must be >= 0, got {workers}")
+        if on_error not in ("raise", "continue"):
+            raise SweepError(
+                f"on_error must be 'raise' or 'continue', got {on_error!r}"
+            )
+        self.spec = spec
+        self.workers = workers
+        self.on_error = on_error
+        self.progress = progress
+
+    # -- calibration pre-warm --------------------------------------------------
+
+    def warm_calibration(self, points: tuple[SweepPoint, ...]) -> int:
+        """Calibrate every distinct (device, ops) combo once, up front.
+
+        Returns the number of distinct combos warmed.  Called before
+        forking so workers inherit the populated cache.
+        """
+        seen: set[tuple] = set()
+        for point in points:
+            fleet = point.cluster.fleet
+            specs = list(fleet.devices)
+            if fleet.spill is not None:
+                specs.append(fleet.spill)
+            for device_spec in specs:
+                key = (device_spec.cache_key(), fleet.ops)
+                if key in seen:
+                    continue
+                seen.add(key)
+                calibrated_models(device_spec, build_device(device_spec),
+                                  fleet.ops)
+        return len(seen)
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> SweepResult:
+        points = self.spec.expand()
+        if not points:
+            raise SweepError(
+                f"sweep expands to zero points (grid size "
+                f"{self.spec.grid_size()}, all filtered out)"
+            )
+        self.warm_calibration(points)
+        result = SweepResult(spec=self.spec, points=points,
+                             results=[None] * len(points))
+        if self.workers == 0:
+            self._run_inline(points, result)
+        else:
+            self._run_pool(points, result)
+        # Pool completions arrive in arbitrary order; reports must not.
+        result.failures.sort(key=lambda failure: failure.index)
+        return result
+
+    def _record(self, result: SweepResult, done: int, index: int,
+                run: RunResult | None, error: str | None) -> None:
+        point = result.points[index]
+        if run is not None:
+            result.results[index] = run
+        else:
+            if self.on_error == "raise":
+                raise SweepError(f"{point.describe()} failed: {error}")
+            result.failures.append(SweepFailure(
+                index=index, coords=point.coords, error=error))
+        if self.progress is not None:
+            self.progress(done, len(result.points), point)
+
+    def _run_inline(self, points: tuple[SweepPoint, ...],
+                    result: SweepResult) -> None:
+        for done, point in enumerate(points, start=1):
+            try:
+                run, error = run_point(point), None
+            except ReproError as exc:
+                run, error = None, f"{type(exc).__name__}: {exc}"
+            self._record(result, done, point.index, run, error)
+
+    def _run_pool(self, points: tuple[SweepPoint, ...],
+                  result: SweepResult) -> None:
+        # Fork (where the platform offers it) so workers inherit the
+        # pre-warmed calibration cache; spawn-only platforms fall back
+        # to re-calibrating lazily per worker.
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = multiprocessing.get_context()
+        # imap_unordered keeps every worker busy; grid order is
+        # restored by writing through point.index.
+        with context.Pool(processes=self.workers) as pool:
+            outcomes = pool.imap_unordered(_pool_run_point, points)
+            for done, (index, run, error) in enumerate(outcomes, start=1):
+                self._record(result, done, index, run, error)
+
+
+def run_sweep_spec(spec: SweepSpec, *, workers: int = 0,
+                   on_error: str = "raise",
+                   progress: ProgressFn | None = None) -> SweepResult:
+    """One-call convenience: ``SweepRunner(spec, ...).run()``."""
+    return SweepRunner(spec, workers=workers, on_error=on_error,
+                       progress=progress).run()

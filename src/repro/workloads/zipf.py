@@ -34,7 +34,7 @@ class ZipfianGenerator:
     """
 
     def __init__(self, item_count: int, theta: float = 0.99,
-                 seed: int = 0) -> None:
+                 seed: int | str = 0) -> None:
         if item_count < 1:
             raise WorkloadError(f"item_count must be >= 1, got {item_count}")
         if not 0.0 < theta < 1.0:
@@ -74,7 +74,7 @@ class ScrambledZipfian:
     """Zipfian popularity spread uniformly over the key space."""
 
     def __init__(self, item_count: int, theta: float = 0.99,
-                 seed: int = 0) -> None:
+                 seed: int | str = 0) -> None:
         self.item_count = item_count
         self._zipf = ZipfianGenerator(item_count, theta, seed)
 
@@ -85,7 +85,7 @@ class ScrambledZipfian:
 class UniformGenerator:
     """Uniform keys (YCSB's insert-order / uniform distributions)."""
 
-    def __init__(self, item_count: int, seed: int = 0) -> None:
+    def __init__(self, item_count: int, seed: int | str = 0) -> None:
         if item_count < 1:
             raise WorkloadError(f"item_count must be >= 1, got {item_count}")
         self.item_count = item_count

@@ -334,6 +334,96 @@ class TestClusterSession:
         assert client.slo.name == "gold"
 
 
+def stub_store_cluster(spec=None, cache_blocks=8, block_bytes=1000):
+    """Store-backed cluster over one stub device, built from parts."""
+    sim = Simulator()
+    fleet = [FleetDevice(
+        sim, StubDevice(name="dev0"),
+        {"compress": flat_model(0.02), "decompress": flat_model(0.01)},
+        queue_limit=16, batch_size=1)]
+    service = OffloadService(sim, fleet, "cost-model")
+    store = CompressedBlockStore(
+        sim, service, BlockCache(cache_blocks), block_bytes=block_bytes,
+        hit_overhead_ns=100.0, hit_per_byte_ns=0.0,
+        media_overhead_ns=0.0, media_per_byte_ns=0.0)
+    return Cluster(sim, service, store=store, spec=spec)
+
+
+class TestClosedLoopStoreClient:
+    def _stream(self, **kwargs):
+        kwargs.setdefault("offered_gbps", 0.5)
+        kwargs.setdefault("duration_ns", 2e5)
+        kwargs.setdefault("read_fraction", 0.7)
+        kwargs.setdefault("blocks", 32)
+        kwargs.setdefault("block_bytes", 1000)
+        kwargs.setdefault("seed", 9)
+        return MixedStream(**kwargs)
+
+    def test_windowed_client_bounds_inflight_and_completes(self):
+        cluster = stub_store_cluster()
+        client = cluster.store_client(self._stream(), window=3)
+        result = cluster.run()
+        assert client.mode == "store-closed"
+        assert 1 <= client.peak_inflight <= 3
+        assert client.inflight == 0
+        assert client.completed > 0
+        assert client.completed + client.failed == client.submitted
+        assert client.reads + client.writes == client.submitted
+        row = result.client("store")
+        assert row["window"] == 3
+        assert row["peak_inflight"] <= 3
+        assert row["goodput_gbps"] > 0
+
+    def test_coalesced_reads_release_their_waiters(self):
+        # One hot block, no cache: concurrent connections coalesce on
+        # the same in-flight decompress and must all complete.
+        cluster = stub_store_cluster(cache_blocks=0)
+        client = cluster.store_client(
+            self._stream(blocks=1, read_fraction=1.0), window=4)
+        cluster.run()
+        assert cluster.store.metrics.coalesced_reads > 0
+        assert client.completed == client.submitted
+        assert client.inflight == 0
+
+    def test_think_time_throttles_submission(self):
+        eager = stub_store_cluster()
+        fast = eager.store_client(self._stream(), window=1)
+        eager.run()
+        lazy = stub_store_cluster()
+        slow = lazy.store_client(self._stream(), window=1,
+                                 think_ns=10_000.0)
+        lazy.run()
+        assert slow.submitted < fast.submitted
+
+    def test_store_spec_client_window_is_the_default(self):
+        spec = ClusterSpec(
+            fleet=FleetSpec(devices=(DeviceSpec("dpzip"),)),
+            store=StoreSpec(block_bytes=1000, client_window=2,
+                            client_think_ns=500.0),
+        )
+        cluster = stub_store_cluster(spec=spec)
+        client = cluster.store_client(self._stream())
+        assert client.window == 2
+        assert client.think_ns == 500.0
+        # An explicit argument still wins over the spec default.
+        other = stub_store_cluster(spec=spec)
+        explicit = other.store_client(self._stream(), window=5)
+        assert explicit.window == 5
+
+    def test_windowed_validation(self):
+        cluster = stub_store_cluster()
+        with pytest.raises(ClusterError, match="window"):
+            cluster.store_client(self._stream(), window=0)
+        with pytest.raises(ClusterError, match="think"):
+            cluster.store_client(self._stream(), window=1, think_ns=-1.0)
+
+    def test_store_spec_rejects_bad_client_fields(self):
+        with pytest.raises(ClusterSpecError, match="client window"):
+            StoreSpec(client_window=0)
+        with pytest.raises(ClusterSpecError, match="think"):
+            StoreSpec(client_think_ns=-1.0)
+
+
 class TestReconfigSchedule:
     def test_brownout_event_applies_at_time(self):
         sim = Simulator()
