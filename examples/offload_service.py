@@ -10,8 +10,16 @@ shows the per-tenant/per-placement latency breakdown for the
 cost-model policy.
 
 Run:  python examples/offload_service.py
+      python examples/offload_service.py --trace trace.json
+
+With `--trace`, the cost-model run records per-request spans and a
+metrics time series and exports them as Chrome trace-event JSON —
+open the file in https://ui.perfetto.dev to see admit → queue →
+dispatch → serve → complete per request, per-device tracks, and the
+queue-depth/utilization counters.
 """
 
+import argparse
 from dataclasses import replace
 
 from repro.cluster import (
@@ -20,6 +28,7 @@ from repro.cluster import (
     ClusterSpec,
     DeviceSpec,
     FleetSpec,
+    TelemetrySpec,
 )
 from repro.profiling import format_table
 from repro.service import OpenLoopStream
@@ -37,6 +46,14 @@ BASE_SPEC = ClusterSpec(
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", nargs="?", const="trace.json",
+                        metavar="PATH",
+                        help="export the cost-model run's telemetry as "
+                             "Chrome trace-event JSON (default: "
+                             "trace.json; open in ui.perfetto.dev)")
+    args = parser.parse_args()
+
     print("Calibrating device cost models (runs the real codecs once; "
           "cached across runs)...")
     stream = OpenLoopStream(offered_gbps=36.0, duration_ns=4e6,
@@ -45,7 +62,11 @@ def main() -> None:
     rows = []
     results = {}
     for policy in POLICIES:
-        cluster = Cluster.from_spec(replace(BASE_SPEC, policy=policy))
+        spec = replace(BASE_SPEC, policy=policy)
+        if args.trace and policy == "cost-model":
+            spec = replace(spec, telemetry=TelemetrySpec(
+                trace=True, metrics_interval_ns=250_000.0))
+        cluster = Cluster.from_spec(spec)
         cluster.open_loop(stream)
         result = cluster.run()
         results[policy] = result
@@ -60,6 +81,16 @@ def main() -> None:
     print(format_table(best.breakdown, floatfmt=".1f"))
     print("\nPer-device view (cost-model):\n")
     print(format_table(best.per_device, floatfmt=".2f"))
+
+    if args.trace:
+        result = results["cost-model"]
+        report = result.telemetry
+        result.export_trace(args.trace)
+        print(f"\nMetrics time series (first 8 of "
+              f"{len(result.metrics_rows())} samples):\n")
+        print(format_table(result.metrics_rows()[:8], floatfmt=".3f"))
+        print(f"\nwrote {args.trace}: {len(report.events)} trace events "
+              f"({report.dropped} dropped) — open in ui.perfetto.dev")
 
 
 if __name__ == "__main__":

@@ -38,6 +38,7 @@ from repro.cluster.spec import (
     SloShare,
     SloSpec,
     StoreSpec,
+    TelemetrySpec,
     default_cluster_spec,
 )
 
@@ -59,6 +60,7 @@ __all__ = [
     "SloSpec",
     "StoreClient",
     "StoreSpec",
+    "TelemetrySpec",
     "build_device",
     "calibrated_models",
     "default_cluster_spec",

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from repro.errors import ServiceError
 from repro.service.offload import ServiceReport
 from repro.store.store import StoreReport
+from repro.telemetry import TelemetryReport
 
 
 @dataclass
@@ -28,6 +29,11 @@ class RunResult:
     store: StoreReport | None = None
     #: One flat dict per client handle (mode, goodput, percentiles).
     clients: list[dict] = field(default_factory=list)
+    #: Telemetry snapshot (spans + sampled series) when the run's spec
+    #: declared a telemetry section; None otherwise.
+    telemetry: TelemetryReport | None = None
+    #: Where :meth:`export_trace` last wrote the trace, if anywhere.
+    trace_path: str | None = None
 
     # -- convenience views -----------------------------------------------------
 
@@ -56,6 +62,25 @@ class RunResult:
             f"no client named {name!r} in this run; clients: "
             f"{[row['client'] for row in self.clients]}"
         )
+
+    # -- telemetry views -------------------------------------------------------
+
+    def metrics_rows(self) -> list[dict]:
+        """The sampled metrics time series (empty without telemetry)."""
+        if self.telemetry is None:
+            return []
+        return self.telemetry.metrics_rows
+
+    def export_trace(self, path: str) -> str:
+        """Write this run's trace as Chrome trace-event JSON to ``path``
+        (openable in ui.perfetto.dev) and remember it in ``trace_path``."""
+        if self.telemetry is None:
+            raise ServiceError(
+                "this run recorded no telemetry; declare a telemetry "
+                "section in the ClusterSpec (or pass --trace) first"
+            )
+        self.trace_path = self.telemetry.write_trace(path)
+        return self.trace_path
 
     def row(self) -> dict:
         """Merged flat row: service columns plus store columns if a

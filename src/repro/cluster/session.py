@@ -35,6 +35,7 @@ from repro.cluster.clients import (
 )
 from repro.cluster.result import RunResult
 from repro.cluster.spec import ClusterSpec, DeviceSpec
+from repro.profiling.powermeter import PowerMeter
 from repro.service.admission import AdmissionController
 from repro.service.control import FleetController
 from repro.service.model import DeviceCostModel
@@ -43,6 +44,7 @@ from repro.service.request import OpenLoopStream, SloClass
 from repro.sim.engine import Simulator
 from repro.store.cache import BlockCache
 from repro.store.store import CompressedBlockStore
+from repro.telemetry import DISABLED, Telemetry
 from repro.workloads.mixed import MixedStream
 
 #: Maps each declarable device kind to its hw-layer constructor.
@@ -98,15 +100,34 @@ class Cluster:
 
     def __init__(self, sim: Simulator, service: OffloadService,
                  store: CompressedBlockStore | None = None,
-                 spec: ClusterSpec | None = None) -> None:
+                 spec: ClusterSpec | None = None,
+                 telemetry: Telemetry | None = None) -> None:
         self.sim = sim
         self.service = service
         self.store = store
         self.spec = spec
         self.controller = FleetController(service)
+        if telemetry is None:
+            telemetry = (Telemetry(spec.telemetry)
+                         if spec is not None and spec.telemetry is not None
+                         else DISABLED)
+        self.telemetry = telemetry
+        if telemetry.enabled:
+            self._wire_telemetry()
         self._clients: list[ClusterClient] = []
         self._active_clients = 0
         self._ran = False
+
+    def _wire_telemetry(self) -> None:
+        """Hand the live telemetry sink to every instrumented component."""
+        scheduler = self.service.scheduler
+        scheduler.telemetry = self.telemetry
+        for device in scheduler.devices:
+            device.telemetry = self.telemetry
+        if scheduler.spill_device is not None:
+            scheduler.spill_device.telemetry = self.telemetry
+        if self.store is not None:
+            self.store.telemetry = self.telemetry
 
     # -- construction ----------------------------------------------------------
 
@@ -315,6 +336,9 @@ class Cluster:
         self.service.measure_until_ns = horizon
         if self.store is not None:
             self.store.measure_until_ns = horizon
+        if self.telemetry.metrics is not None:
+            self._register_default_gauges()
+            self.sim.spawn(self._metrics_sampler(horizon))
         self._active_clients = len(self._clients)
         for client in self._clients:
             client.start(on_done=self._client_finished)
@@ -334,4 +358,86 @@ class Cluster:
             store=(self.store.report(duration_ns=horizon)
                    if self.store is not None else None),
             clients=[client.row() for client in self._clients],
+            telemetry=(self.telemetry.report()
+                       if self.telemetry.enabled else None),
         )
+
+    # -- telemetry sampling ----------------------------------------------------
+
+    def _metrics_sampler(self, horizon: float):
+        """Tick the metrics registry until the measurement window ends.
+
+        Bounded by ``horizon`` so the simulation's event queue still
+        drains once the clients stop submitting.
+        """
+        registry = self.telemetry.metrics
+        interval = registry.interval_ns
+        while self.sim.now + interval <= horizon:
+            yield self.sim.timeout(interval)
+            registry.sample(self.sim.now)
+
+    def _fleet_keyed(self) -> list[tuple[str, Any]]:
+        """Every fleet member (spill last) with unique gauge keys."""
+        scheduler = self.service.scheduler
+        devices = list(scheduler.devices)
+        if scheduler.spill_device is not None:
+            devices.append(scheduler.spill_device)
+        keyed: list[tuple[str, Any]] = []
+        seen: dict[str, int] = {}
+        for device in devices:
+            count = seen.get(device.name, 0)
+            seen[device.name] = count + 1
+            key = device.name if count == 0 \
+                else f"{device.name}#{count + 1}"
+            keyed.append((key, device))
+        return keyed
+
+    def _register_default_gauges(self) -> None:
+        """The standard serving time series every sampled run records."""
+        registry = self.telemetry.metrics
+        scheduler = self.service.scheduler
+        metrics = scheduler.metrics
+        registry.gauge("pending", lambda: float(scheduler.pending))
+        registry.gauge("utilization", scheduler.utilization)
+        registry.gauge("completed", lambda: float(metrics.completed))
+
+        # Per-interval admission rates: fraction of the tick's arrivals
+        # that spilled or shed (cumulative counters only ever average
+        # away the overload transient the series exists to show).
+        previous = {"offered": 0, "spilled": 0, "shed": 0}
+
+        def admission_rates() -> dict:
+            offered = metrics.offered - previous["offered"]
+            spilled = metrics.spilled - previous["spilled"]
+            shed = metrics.shed - previous["shed"]
+            previous.update(offered=metrics.offered,
+                            spilled=metrics.spilled, shed=metrics.shed)
+            return {
+                "spill_rate": spilled / offered if offered else 0.0,
+                "shed_rate": shed / offered if offered else 0.0,
+            }
+        registry.multi(admission_rates)
+
+        for key, device in self._fleet_keyed():
+            registry.gauge(f"q_{key}",
+                           lambda d=device: float(d.inflight))
+            registry.gauge(f"util_{key}",
+                           lambda d=device: d.inflight / d.queue_limit)
+
+        def slo_miss_rates() -> dict:
+            return {f"miss_{name}": stats.miss_rate
+                    for name, stats in sorted(metrics.slo.items())}
+        registry.multi(slo_miss_rates)
+
+        if self.store is not None:
+            cache = self.store.cache
+            blockmap = self.store.blockmap
+            registry.gauge("hit_rate", lambda: cache.hit_rate)
+            registry.gauge("ghost_hit_rate",
+                           lambda: cache.ghost_hit_rate)
+            registry.gauge("garbage_bytes",
+                           lambda: float(blockmap.garbage_bytes))
+
+        meter = PowerMeter()
+        fleet = [device for _, device in self._fleet_keyed()]
+        registry.gauge("power_w", lambda: meter.fleet_draw_w(fleet))

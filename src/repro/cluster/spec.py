@@ -507,6 +507,48 @@ class ReconfigEvent:
 
 
 @dataclass(frozen=True)
+class TelemetrySpec:
+    """What a cluster run records about itself.
+
+    ``trace`` turns on per-request span recording into a bounded
+    flight recorder of ``trace_capacity`` events (oldest dropped
+    first); ``metrics_interval_ns`` enables time-series sampling of
+    the metrics registry at that simulated-time period.  Both default
+    off — a spec without a telemetry section runs the untouched
+    zero-cost path.
+    """
+
+    trace: bool = False
+    trace_capacity: int = 262_144
+    metrics_interval_ns: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.trace_capacity < 1:
+            raise ClusterSpecError(
+                f"trace capacity must be >= 1, got {self.trace_capacity}"
+            )
+        if self.metrics_interval_ns is not None \
+                and not self.metrics_interval_ns > 0:
+            raise ClusterSpecError(
+                f"metrics interval must be > 0 ns, "
+                f"got {self.metrics_interval_ns}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.trace or self.metrics_interval_ns is not None
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TelemetrySpec":
+        _check_keys(cls, data)
+        return cls(
+            trace=data.get("trace", False),
+            trace_capacity=data.get("trace_capacity", 262_144),
+            metrics_interval_ns=data.get("metrics_interval_ns"),
+        )
+
+
+@dataclass(frozen=True)
 class ClusterSpec:
     """The whole cluster, declaratively.
 
@@ -525,6 +567,7 @@ class ClusterSpec:
     store: StoreSpec | None = None
     power_budget_w: float | None = None
     reconfig: tuple[ReconfigEvent, ...] = ()
+    telemetry: TelemetrySpec | None = None
 
     def __post_init__(self) -> None:
         if self.slo_mix is not None:
@@ -584,6 +627,8 @@ class ClusterSpec:
             power_budget_w=data.get("power_budget_w"),
             reconfig=tuple(ReconfigEvent.from_dict(entry)
                            for entry in data.get("reconfig", ())),
+            telemetry=(TelemetrySpec.from_dict(data["telemetry"])
+                       if data.get("telemetry") is not None else None),
         )
 
     def to_json(self, indent: int | None = 2) -> str:

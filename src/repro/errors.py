@@ -90,3 +90,8 @@ class SweepSpecError(SweepError, ValueError):
 
 class StoreError(ReproError):
     """Raised on block-store misuse (unmapped block, oversized write)."""
+
+
+class TelemetryError(ReproError):
+    """Raised on telemetry misuse (bad capacity or interval, duplicate
+    gauge names) and by trace-document validation failures."""

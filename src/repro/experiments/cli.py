@@ -80,6 +80,44 @@ def _write_outputs(result, args) -> None:
         result.to_json(args.json)
 
 
+def _telemetry_options() -> argparse.ArgumentParser:
+    """Shared telemetry flags for the cluster/sweep subcommands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("telemetry options")
+    group.add_argument("--trace", metavar="trace.json",
+                       help="record per-request spans and export them "
+                            "as Chrome trace-event JSON (open the file "
+                            "in ui.perfetto.dev)")
+    group.add_argument("--metrics-interval-ms", type=float, metavar="MS",
+                       help="sample queue depth, utilization, miss and "
+                            "admission rates every MS of simulated time")
+    return parent
+
+
+def _telemetry_override(spec, trace: bool, interval_ms: float | None):
+    """A ClusterSpec copy with the CLI telemetry flags merged in."""
+    if not trace and interval_ms is None:
+        return spec
+    from repro.cluster import TelemetrySpec
+
+    base = spec.telemetry if spec.telemetry is not None \
+        else TelemetrySpec()
+    return dataclasses.replace(spec, telemetry=dataclasses.replace(
+        base,
+        trace=base.trace or bool(trace),
+        metrics_interval_ns=(interval_ms * 1e6 if interval_ms is not None
+                             else base.metrics_interval_ns),
+    ))
+
+
+def _point_trace_path(base: str, index: int) -> str:
+    """Per-point trace file name under a sweep's --trace base path."""
+    stem, dot, ext = base.rpartition(".")
+    if dot and ext.lower() == "json":
+        return f"{stem}-point{index}.json"
+    return f"{base}-point{index}.json"
+
+
 def cluster_main(argv: list[str]) -> int:
     """The ``cluster`` subcommand: one run over a ClusterSpec JSON."""
     from repro.cluster import Cluster, ClusterSpec, default_cluster_spec
@@ -87,7 +125,8 @@ def cluster_main(argv: list[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro-experiment cluster",
-        parents=[_run_options(duration_ms=2.0, seed=1234)],
+        parents=[_run_options(duration_ms=2.0, seed=1234),
+                 _telemetry_options()],
         description="Serve one run over a declarative cluster spec: "
                     "open-loop by default, closed-loop windowed clients "
                     "with --closed-loop, mixed GET/PUT store traffic "
@@ -126,6 +165,8 @@ def cluster_main(argv: list[str]) -> int:
     try:
         with open(args.spec, encoding="utf-8") as handle:
             spec = ClusterSpec.from_json(handle.read())
+        spec = _telemetry_override(spec, bool(args.trace),
+                                   args.metrics_interval_ms)
         cluster = Cluster.from_spec(spec)
         if spec.store is not None:
             cluster.store_client(offered_gbps=args.load_gbps,
@@ -155,6 +196,17 @@ def cluster_main(argv: list[str]) -> int:
     if result.slo_breakdown:
         print("\nPer-SLO-class view:\n")
         print(format_table(result.slo_breakdown, floatfmt=".3f"))
+    metrics_rows = result.metrics_rows()
+    if metrics_rows:
+        shown = metrics_rows[:10]
+        print(f"\nMetrics time series ({len(shown)} of "
+              f"{len(metrics_rows)} samples):\n")
+        print(format_table(shown, floatfmt=".3f", intfmt=","))
+    if args.trace:
+        report = result.telemetry
+        result.export_trace(args.trace)
+        print(f"\nwrote {args.trace}: {len(report.events)} trace events "
+              f"({report.dropped} dropped) — open in ui.perfetto.dev")
     return 0
 
 
@@ -165,7 +217,7 @@ def sweep_main(argv: list[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro-experiment sweep",
-        parents=[_sweep_options()],
+        parents=[_sweep_options(), _telemetry_options()],
         description="Expand a declarative SweepSpec document into its "
                     "grid of cluster specs and run every point — "
                     "inline, or fanned out over --workers processes "
@@ -210,6 +262,8 @@ def sweep_main(argv: list[str]) -> int:
             spec = example_sweep_spec()
         if args.seed is not None:
             spec = dataclasses.replace(spec, root_seed=args.seed)
+        spec = dataclasses.replace(spec, cluster=_telemetry_override(
+            spec.cluster, bool(args.trace), args.metrics_interval_ms))
         runner = SweepRunner(
             spec, workers=args.workers,
             on_error="continue" if args.continue_on_error else "raise",
@@ -223,6 +277,12 @@ def sweep_main(argv: list[str]) -> int:
           f"workers {args.workers} ==")
     print(result.table())
     _write_outputs(result, args)
+    if args.trace:
+        written = [run.export_trace(_point_trace_path(args.trace,
+                                                      point.index))
+                   for point, run in result]
+        print(f"wrote {len(written)} per-point trace files "
+              f"({_point_trace_path(args.trace, 0)} ...)")
     if result.failures:
         print(f"\n{len(result.failures)} point(s) failed:",
               file=sys.stderr)

@@ -7,6 +7,13 @@ CPU-class system efficiency (Finding 12/13).
 
 Part (b): Btrfs-level efficiency plus host CPU utilization — DPZip
 under 3% CPU, software/QAT paths above 14%.
+
+Part (c): fleet power draw as a *time series* — a telemetry-enabled
+cluster run samples instantaneous draw through the metrics registry
+(``power_w`` gauge, :meth:`repro.profiling.powermeter.PowerMeter.
+fleet_draw_w`), replacing the point estimates above with the load-
+following trajectory the planned energy closed loop (ROADMAP item 4)
+will regulate against.
 """
 
 from __future__ import annotations
@@ -99,4 +106,36 @@ def run(quick: bool = True) -> ExperimentResult:
             "net_w": net,
             "cpu_utilization": util,
         })
+
+    # Part (c): sampled fleet draw over one telemetry-enabled run.
+    for row in _power_timeline(quick):
+        result.rows.append(row)
     return result
+
+
+def _power_timeline(quick: bool) -> list[dict]:
+    """Fleet ``power_w`` time series from a sampled cluster run."""
+    import dataclasses
+
+    from repro.cluster import Cluster, TelemetrySpec, default_cluster_spec
+
+    duration_ns = 1.0e6 if quick else 8.0e6
+    interval_ns = duration_ns / 10.0
+    spec = dataclasses.replace(
+        default_cluster_spec(),
+        telemetry=TelemetrySpec(metrics_interval_ns=interval_ns))
+    cluster = Cluster.from_spec(spec)
+    cluster.open_loop(offered_gbps=36.0, duration_ns=duration_ns,
+                      tenants=4, seed=18)
+    result = cluster.run()
+    return [
+        {
+            "part": "c-timeline",
+            "config": "mixed-fleet",
+            "op": "compress",
+            "t_ms": row["t_ms"],
+            "power_w": row["power_w"],
+            "utilization": row["utilization"],
+        }
+        for row in result.metrics_rows()
+    ]

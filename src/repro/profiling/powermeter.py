@@ -9,9 +9,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
 from repro.hw.power import (
     NetPowerBreakdown,
     SERVER_IDLE_W,
+    device_active_w,
     efficiency_mb_per_joule,
     efficiency_ops_per_joule,
     net_power_w,
@@ -72,3 +74,35 @@ class PowerMeter:
             runtime_w=self.idle_w + power.total_w,
             ops_per_second=ops_per_second,
         )
+
+    # -- live-fleet draw (telemetry time series) -------------------------------
+
+    def device_draw_w(self, device) -> float:
+        """Instantaneous active draw of one live fleet member.
+
+        Active wattage comes from the :mod:`repro.hw.power` catalog,
+        scaled by the device's current fill fraction (an idle engine
+        draws ~nothing above server idle) and its derate.  Fleet
+        members may carry renamed devices the catalog cannot resolve
+        (``dpzip0``, ``cpu-spill``); those fall back to a digit/suffix-
+        stripped lookup and finally to zero draw rather than failing a
+        metrics tick mid-run.
+        """
+        if not device.is_online:
+            return 0.0
+        name = device.name
+        try:
+            active_w = device_active_w(name)
+        except ConfigurationError:
+            stripped = name.split("#")[0].split("-")[0].rstrip("0123456789")
+            try:
+                active_w = device_active_w(stripped) if stripped else 0.0
+            except ConfigurationError:
+                return 0.0
+        fill = min(device.inflight / device.queue_limit, 1.0) \
+            if device.queue_limit else 0.0
+        return active_w * fill * device.speed_factor
+
+    def fleet_draw_w(self, devices) -> float:
+        """Summed instantaneous draw across ``devices``."""
+        return sum(self.device_draw_w(device) for device in devices)

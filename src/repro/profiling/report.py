@@ -7,26 +7,52 @@ from typing import Any, Sequence
 
 def format_table(rows: Sequence[dict[str, Any]],
                  columns: Sequence[str] | None = None,
-                 floatfmt: str = ".2f") -> str:
-    """Render dict-rows as an aligned ASCII table."""
+                 floatfmt: str = ".2f",
+                 intfmt: str | None = None) -> str:
+    """Render dict-rows as an aligned ASCII table.
+
+    Numeric columns (every present value an int/float, bools excluded)
+    are right-aligned so magnitudes line up; text columns stay
+    left-aligned.  ``intfmt`` (e.g. ``","``) formats integers — the
+    default renders them via ``str`` — which keeps count/queue-depth
+    time-series tables readable.
+    """
     if not rows:
         return "(no rows)"
     if columns is None:
         columns = list(rows[0].keys())
 
+    def is_number(value: Any) -> bool:
+        return isinstance(value, (int, float)) \
+            and not isinstance(value, bool)
+
     def render(value: Any) -> str:
+        if isinstance(value, bool):
+            return str(value)
         if isinstance(value, float):
             return format(value, floatfmt)
+        if isinstance(value, int) and intfmt is not None:
+            return format(value, intfmt)
         return str(value)
 
     grid = [[render(row.get(col, "")) for col in columns] for row in rows]
+    numeric = [
+        all(is_number(row[col]) for row in rows if col in row)
+        and any(col in row for row in rows)
+        for col in columns
+    ]
     widths = [max(len(col), *(len(line[i]) for line in grid))
               for i, col in enumerate(columns)]
-    header = "  ".join(col.ljust(widths[i])
-                       for i, col in enumerate(columns))
+
+    def align(text: str, index: int) -> str:
+        if numeric[index]:
+            return text.rjust(widths[index])
+        return text.ljust(widths[index])
+
+    header = "  ".join(align(col, i) for i, col in enumerate(columns))
     rule = "  ".join("-" * widths[i] for i in range(len(columns)))
     body = "\n".join(
-        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        "  ".join(align(line[i], i) for i in range(len(columns)))
         for line in grid
     )
     return f"{header}\n{rule}\n{body}"

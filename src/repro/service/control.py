@@ -68,6 +68,11 @@ class FleetController:
 
     def _log(self, action: str, device: str, detail: str = "") -> None:
         self.events.append((self.sim.now, action, device, detail))
+        tel = self.scheduler.telemetry
+        if tel.tracing:
+            tel.instant("control", action, self.sim.now, {
+                "device": device, "detail": detail,
+            })
 
     def _find(self, name: str) -> FleetDevice:
         matches = [device for device in self.scheduler.devices
@@ -97,6 +102,7 @@ class FleetController:
                 f"serving processes would never run on this one"
             )
         member.set_online()
+        member.telemetry = self.scheduler.telemetry
         self.scheduler.devices.append(member)
         self._log("hotplug", member.name)
         self.scheduler.pump()

@@ -29,6 +29,7 @@ from repro.service.model import DeviceCostModel, ModeledCost
 from repro.service.request import OffloadRequest
 from repro.sim.engine import Simulator, Store
 from repro.sim.stats import ThroughputTracker
+from repro.telemetry import DISABLED
 from repro.virt.qos import FairArbiter, FcfsArbiter, VfRequest
 
 
@@ -108,6 +109,8 @@ class _Submission:
     cost: ModeledCost
     on_complete: Callable[[OffloadRequest, "FleetDevice", ModeledCost],
                           None] | None
+    #: When the request entered this device's queue (telemetry only).
+    enqueue_ns: float = 0.0
 
 
 class FleetDevice:
@@ -170,6 +173,9 @@ class FleetDevice:
         # cost-model policy estimates every candidate right before the
         # winner is enqueued, so the enqueue predict is always a repeat.
         self._cost_cache: tuple[OffloadRequest, ModeledCost] | None = None
+        #: Telemetry sink; the shared no-op unless the session wires a
+        #: live one in (hot-path sites guard on ``telemetry.tracing``).
+        self.telemetry = DISABLED
 
     @property
     def name(self) -> str:
@@ -280,7 +286,17 @@ class FleetDevice:
         self.inflight += 1
         self.peak_inflight = max(self.peak_inflight, self.inflight)
         self.backlog_ns += cost.engine_ns
-        self.batcher.add(_Submission(request, cost, on_complete))
+        now = self.sim.now
+        tel = self.telemetry
+        if tel.tracing:
+            # Scheduler-side wait: admission stamp to device entry.
+            # Every routing path (dispatch, pump, spill, migrate) funnels
+            # through here, so this one span covers them all.
+            tel.span("scheduler", "queue", request.arrival_ns, now, {
+                "req": request.trace_id, "device": self.name,
+            })
+        self.batcher.add(_Submission(request, cost, on_complete,
+                                     enqueue_ns=now))
 
     # -- simulation processes --------------------------------------------------
 
@@ -300,6 +316,7 @@ class FleetDevice:
 
     def _serve(self, submission: _Submission) -> Generator[Any, Any, None]:
         cost = submission.cost
+        entry_ns = self.sim.now
         if cost.pre_ns > 0:
             yield self.sim.timeout(cost.pre_ns)
         vf_index = (submission.request.tenant % self._vf_count
@@ -318,5 +335,16 @@ class FleetDevice:
         self.backlog_ns = max(self.backlog_ns - cost.engine_ns, 0.0)
         self.completed += 1
         self.throughput.record(submission.request.nbytes, engine_ns)
+        tel = self.telemetry
+        if tel.tracing:
+            request = submission.request
+            # ``dispatch`` covers batching + the shared doorbell ring;
+            # ``serve`` is the device's own pre/engine/post pipeline.
+            tel.span(self.name, "dispatch", submission.enqueue_ns,
+                     entry_ns, {"req": request.trace_id})
+            tel.span(self.name, "serve", entry_ns, self.sim.now, {
+                "req": request.trace_id, "op": request.op,
+                "tenant": request.tenant,
+            })
         if submission.on_complete is not None:
             submission.on_complete(submission.request, self, cost)

@@ -86,6 +86,9 @@ class OffloadRequest:
     slo: SloClass = BEST_EFFORT
     #: Stamped by the service when the request is submitted.
     arrival_ns: float = 0.0
+    #: Trace id linking this request's telemetry spans; -1 = untraced.
+    #: Assigned in submission order, so ids are deterministic per run.
+    trace_id: int = -1
 
     def __post_init__(self) -> None:
         if self.nbytes <= 0:

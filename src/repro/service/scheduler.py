@@ -47,6 +47,7 @@ from repro.service.policy import DispatchPolicy
 from repro.service.request import OffloadRequest, SloClass
 from repro.sim.engine import Simulator
 from repro.sim.stats import KeyedLatencyRecorder, LatencyRecorder
+from repro.telemetry import DISABLED
 
 #: Pending-queue depth an SLO-aware policy gets when none is specified.
 DEFAULT_PENDING_LIMIT = 64
@@ -176,6 +177,9 @@ class SchedulerCore:
             )
         self.pending_limit = pending_limit
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        #: Telemetry sink; the shared no-op unless the session wires a
+        #: live one in (hot-path sites guard on ``telemetry.tracing``).
+        self.telemetry = DISABLED
         #: Completions at or before this instant count toward goodput;
         #: None counts everything.
         self.measure_until_ns: float | None = None
@@ -230,7 +234,11 @@ class SchedulerCore:
         """
         request.arrival_ns = self.sim.now
         self.metrics.offered += 1
+        tel = self.telemetry
+        if tel.tracing:
+            request.trace_id = tel.next_id()
         hook = _CompletionChain(self, on_complete, on_drop)
+        outcome = None
         if self.admission is not None:
             decision = self.admission.decide(self.utilization())
             if decision is AdmissionDecision.SHED:
@@ -240,10 +248,18 @@ class SchedulerCore:
                 # the low-priority work.
                 if not self._evict_below(request.slo.tier):
                     self._shed(request, on_drop)
-                    return "shed"
+                    outcome = "shed"
             elif decision is AdmissionDecision.SPILL:
-                return self._spill_or_shed(request, hook, on_drop)
-        return self._dispatch_or_queue(request, hook, on_drop)
+                outcome = self._spill_or_shed(request, hook, on_drop)
+        if outcome is None:
+            outcome = self._dispatch_or_queue(request, hook, on_drop)
+        if tel.tracing:
+            tel.instant("scheduler", "admit", request.arrival_ns, {
+                "req": request.trace_id, "outcome": outcome,
+                "slo": request.slo.name, "tenant": request.tenant,
+                "op": request.op, "nbytes": request.nbytes,
+            })
+        return outcome
 
     def _dispatch_or_queue(self, request: OffloadRequest,
                            hook: CompletionHook | None,
@@ -316,6 +332,11 @@ class SchedulerCore:
               on_drop: DropHook | None) -> None:
         self.metrics.shed += 1
         self.metrics.slo_stats(request.slo).shed += 1
+        tel = self.telemetry
+        if tel.tracing:
+            tel.instant("scheduler", "shed", self.sim.now, {
+                "req": request.trace_id, "slo": request.slo.name,
+            })
         if on_drop is not None:
             on_drop(request)
 
@@ -328,6 +349,11 @@ class SchedulerCore:
         heapq.heappush(self._heap, (request.slo.tier, request.deadline_ns,
                                     next(self._sequence), entry))
         self._pending_count += 1
+        tel = self.telemetry
+        if tel.tracing:
+            tel.instant("scheduler", "pend", self.sim.now, {
+                "req": request.trace_id, "depth": self._pending_count,
+            })
 
     def _peek_pending(self) -> _PendingEntry | None:
         while self._heap:
@@ -414,8 +440,13 @@ class SchedulerCore:
         routing follows the same dispatch/park/spill cascade as a fresh
         arrival.
         """
+        tel = self.telemetry
         for submission in submissions:
             self.metrics.migrated += 1
+            if tel.tracing:
+                tel.instant("scheduler", "migrate", self.sim.now, {
+                    "req": submission.request.trace_id,
+                })
             hook = submission.on_complete
             on_drop = (hook.on_drop
                        if isinstance(hook, _CompletionChain) else None)
@@ -443,5 +474,12 @@ class SchedulerCore:
         metrics.by_slo.record((request.slo.name,), latency_ns)
         stats = metrics.slo_stats(request.slo)
         stats.completed += 1
-        if latency_ns > request.slo.deadline_ns:
+        missed = latency_ns > request.slo.deadline_ns
+        if missed:
             stats.missed += 1
+        tel = self.telemetry
+        if tel.tracing:
+            tel.instant("scheduler", "complete", self.sim.now, {
+                "req": request.trace_id, "device": device.name,
+                "lat_us": latency_ns / 1000.0, "missed": missed,
+            })

@@ -64,9 +64,17 @@ class LatencyRecorder:
         return len(self.samples)
 
     def mean_us(self) -> float:
+        """Mean latency in µs; NaN with no samples (an empty run must
+        still produce a report row — bare :func:`mean` stays loud)."""
+        if not self.samples:
+            return math.nan
         return mean(self.samples) / 1000.0
 
     def percentile_us(self, fraction: float) -> float:
+        """Percentile latency in µs; NaN with no samples (bare
+        :func:`percentile` stays loud)."""
+        if not self.samples:
+            return math.nan
         return percentile(self.samples, fraction) / 1000.0
 
     def p50_us(self) -> float:

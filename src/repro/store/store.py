@@ -45,6 +45,7 @@ from repro.sim.engine import Process, Simulator
 from repro.sim.stats import LatencyRecorder
 from repro.store.blockmap import BlockMap
 from repro.store.cache import BlockCache
+from repro.telemetry import DISABLED
 from repro.workloads.mixed import MixedStream
 
 
@@ -176,11 +177,15 @@ class CompressedBlockStore:
         self.media_overhead_ns = media_overhead_ns
         self.media_per_byte_ns = media_per_byte_ns
         self.metrics = StoreMetrics()
+        #: Telemetry sink; the shared no-op unless the session wires a
+        #: live one in (hot-path sites guard on ``telemetry.tracing``).
+        self.telemetry = DISABLED
         #: Readers waiting on an in-flight decompress, keyed by block:
-        #: (arrival time, completion callback) pairs — the
-        #: duplicate-fetch coalescing state.
+        #: (arrival time, completion callback, trace op id) triples —
+        #: the duplicate-fetch coalescing state.
         self._pending_reads: dict[
-            int, list[tuple[float, Callable[[str], None] | None]]] = {}
+            int, list[tuple[float, Callable[[str], None] | None,
+                            int]]] = {}
         #: Completions at or before this instant count toward goodput.
         self.measure_until_ns: float | None = None
 
@@ -215,6 +220,8 @@ class CompressedBlockStore:
         """
         arrival = self.sim.now
         self.metrics.writes += 1
+        tel = self.telemetry
+        op_id = tel.next_id() if tel.tracing else -1
         request = OffloadRequest(tenant=tenant, nbytes=self.block_bytes,
                                  ratio=ratio, op="compress",
                                  slo=self.write_slo)
@@ -231,6 +238,11 @@ class CompressedBlockStore:
             if (self.measure_until_ns is None
                     or self.sim.now <= self.measure_until_ns):
                 self.metrics.window_write_bytes += self.block_bytes
+            if tel.tracing:
+                tel.span("store", "put", arrival, self.sim.now, {
+                    "req": op_id, "block": block,
+                    "compress_req": req.trace_id,
+                })
             if on_done is not None:
                 on_done("completed")
 
@@ -238,6 +250,10 @@ class CompressedBlockStore:
             # Fires on a synchronous shed *or* a later eviction of the
             # queued write by higher-priority work.
             self.metrics.failed_writes += 1
+            if tel.tracing:
+                tel.instant("store", "put-drop", self.sim.now, {
+                    "req": op_id, "block": block,
+                })
             if on_done is not None:
                 on_done("dropped")
 
@@ -258,26 +274,48 @@ class CompressedBlockStore:
         """
         arrival = self.sim.now
         self.metrics.reads += 1
+        tel = self.telemetry
+        op_id = tel.next_id() if tel.tracing else -1
         if self.cache.lookup(block):
-            self.sim.spawn(self._serve_hit(arrival, on_done))
+            if tel.tracing:
+                tel.instant("store", "cache-probe", arrival, {
+                    "req": op_id, "block": block, "outcome": "hit",
+                })
+            self.sim.spawn(self._serve_hit(arrival, on_done, block=block,
+                                           op_id=op_id))
             return "hit"
         if block in self._pending_reads:
             # Another reader already has this block's decompress in
             # flight — piggyback instead of re-fetching.
-            self._pending_reads[block].append((arrival, on_done))
+            self._pending_reads[block].append((arrival, on_done, op_id))
             self.metrics.coalesced_reads += 1
+            if tel.tracing:
+                tel.instant("store", "coalesce", arrival, {
+                    "req": op_id, "block": block,
+                    "waiters": len(self._pending_reads[block]),
+                })
             return "coalesced"
+        if tel.tracing:
+            tel.instant("store", "cache-probe", arrival, {
+                "req": op_id, "block": block, "outcome": "miss",
+            })
         location = self.blockmap.lookup(block)
-        self._pending_reads[block] = [(arrival, on_done)]
+        self._pending_reads[block] = [(arrival, on_done, op_id)]
         self.sim.spawn(self._serve_miss(block, tenant, location.length))
         return "miss"
 
     def _serve_hit(self, arrival_ns: float,
-                   on_done: Callable[[str], None] | None = None,
+                   on_done: Callable[[str], None] | None = None, *,
+                   block: int = -1, op_id: int = -1,
                    ) -> Generator[Any, Any, None]:
         yield self.sim.timeout(self.hit_overhead_ns
                                + self.hit_per_byte_ns * self.block_bytes)
         self._finish_read(arrival_ns, self.metrics.hit_latency)
+        tel = self.telemetry
+        if tel.tracing:
+            tel.span("store", "get", arrival_ns, self.sim.now, {
+                "req": op_id, "block": block, "outcome": "hit",
+            })
         if on_done is not None:
             on_done("completed")
 
@@ -293,12 +331,20 @@ class CompressedBlockStore:
                                  ratio=compressed_len / self.block_bytes,
                                  op="decompress", slo=self.read_slo)
 
+        tel = self.telemetry
+
         def completed(req: OffloadRequest, device: FleetDevice,
                       cost: ModeledCost) -> None:
             self.cache.insert(block)
-            for waiter_arrival, waiter_done in \
-                    self._pending_reads.pop(block, []):
+            for index, (waiter_arrival, waiter_done, waiter_op) in \
+                    enumerate(self._pending_reads.pop(block, [])):
                 self._finish_read(waiter_arrival, self.metrics.miss_latency)
+                if tel.tracing:
+                    tel.span("store", "get", waiter_arrival, self.sim.now, {
+                        "req": waiter_op, "block": block,
+                        "outcome": "miss" if index == 0 else "coalesced",
+                        "decompress_req": req.trace_id,
+                    })
                 if waiter_done is not None:
                     waiter_done("completed")
 
@@ -307,7 +353,11 @@ class CompressedBlockStore:
             # queued decompress; every coalesced waiter fails with it.
             waiters = self._pending_reads.pop(block, [])
             self.metrics.failed_reads += len(waiters)
-            for _, waiter_done in waiters:
+            for _, waiter_done, waiter_op in waiters:
+                if tel.tracing:
+                    tel.instant("store", "get-drop", self.sim.now, {
+                        "req": waiter_op, "block": block,
+                    })
                 if waiter_done is not None:
                     waiter_done("dropped")
 

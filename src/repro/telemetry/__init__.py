@@ -1,0 +1,36 @@
+"""repro.telemetry — request tracing and simulated-time metrics.
+
+Spans and instants land in a bounded flight recorder and export as
+Chrome/Perfetto trace-event JSON; counters and gauges sample on a
+simulated-time interval into a flat time series.  Both are zero-cost
+when disabled: components default to the inert :data:`DISABLED`
+façade and guard every hook on its ``tracing`` flag.
+"""
+
+from repro.telemetry.core import DISABLED, Telemetry, TelemetryReport
+from repro.telemetry.metrics import Counter, Histogram, MetricsRegistry
+from repro.telemetry.trace import (
+    DEFAULT_TRACE_CAPACITY,
+    TraceRecorder,
+    assert_request_phases,
+    render_trace,
+    request_phases,
+    trace_document,
+    validate_trace,
+)
+
+__all__ = [
+    "DISABLED",
+    "DEFAULT_TRACE_CAPACITY",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "Telemetry",
+    "TelemetryReport",
+    "TraceRecorder",
+    "assert_request_phases",
+    "render_trace",
+    "request_phases",
+    "trace_document",
+    "validate_trace",
+]

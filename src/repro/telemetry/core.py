@@ -1,0 +1,133 @@
+"""Telemetry façade: one object the serving stack talks to.
+
+Every instrumented component holds a :class:`Telemetry` — by default
+the module-level :data:`DISABLED` singleton, whose ``tracing`` flag is
+a plain ``False`` attribute.  Hot-path call sites guard with::
+
+    tel = self.telemetry
+    if tel.tracing:
+        tel.span(...)
+
+so a disabled run pays one attribute load and one branch per hook —
+nothing else (asserted by ``benchmarks/test_bench_telemetry.py``).
+
+Live :class:`Telemetry` objects hold gauge closures and are therefore
+*not* shipped across the sweep worker pool; :meth:`Telemetry.report`
+extracts a pure-data :class:`TelemetryReport` that pickles cleanly and
+rides home on the :class:`~repro.cluster.result.RunResult`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import (
+    TraceRecorder,
+    render_trace,
+    trace_document,
+)
+
+
+@dataclass
+class TelemetryReport:
+    """Pure-data snapshot of one run's telemetry (picklable).
+
+    ``events`` are the raw flight-recorder tuples, ``metrics_rows``
+    the sampled time series.  Everything downstream — trace export,
+    metrics tables, determinism comparisons — derives from this.
+    """
+
+    events: list = field(default_factory=list)
+    recorded: int = 0
+    dropped: int = 0
+    metrics_rows: list[dict] = field(default_factory=list)
+    interval_ns: float | None = None
+
+    def trace_document(self) -> dict:
+        """Chrome trace-event document (spans + metric counters)."""
+        return trace_document(self.events, dropped=self.dropped,
+                              metrics_rows=self.metrics_rows)
+
+    def trace_json(self) -> str:
+        """The trace document as deterministic JSON text."""
+        return render_trace(self.trace_document())
+
+    def write_trace(self, path: str) -> str:
+        """Write ``trace.json`` (Perfetto-openable) to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.trace_json())
+        return path
+
+    def metrics_json(self) -> str:
+        """The sampled time series as deterministic JSON text."""
+        return json.dumps(self.metrics_rows, sort_keys=True,
+                          separators=(",", ":"))
+
+
+class Telemetry:
+    """Trace recorder + metrics registry behind one guard flag.
+
+    Constructed from a :class:`~repro.cluster.spec.TelemetrySpec` (or
+    bare keyword arguments in tests).  With neither tracing nor a
+    metrics interval requested, the instance is inert: ``tracing`` is
+    ``False``, ``metrics`` is ``None``, and ``enabled`` is ``False``.
+    """
+
+    __slots__ = ("tracing", "trace", "metrics", "_next_id")
+
+    def __init__(self, spec=None, *, tracing: bool = False,
+                 trace_capacity: int | None = None,
+                 metrics_interval_ns: float | None = None) -> None:
+        if spec is not None:
+            tracing = spec.trace
+            trace_capacity = spec.trace_capacity
+            metrics_interval_ns = spec.metrics_interval_ns
+        self.tracing = bool(tracing)
+        self.trace = None
+        if self.tracing:
+            self.trace = TraceRecorder(trace_capacity) \
+                if trace_capacity else TraceRecorder()
+        self.metrics = None
+        if metrics_interval_ns is not None:
+            self.metrics = MetricsRegistry(metrics_interval_ns)
+        self._next_id = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracing or self.metrics is not None
+
+    def next_id(self) -> int:
+        """Fresh trace id; monotonic in submission order, so ids are
+        deterministic for a given spec + seed regardless of workers."""
+        self._next_id += 1
+        return self._next_id
+
+    # -- recording (call sites guard on ``tracing`` first) ---------------------
+
+    def span(self, track: str, name: str, start_ns: float,
+             end_ns: float, args: dict | None = None) -> None:
+        self.trace.span(track, name, start_ns, end_ns, args)
+
+    def instant(self, track: str, name: str, ts_ns: float,
+                args: dict | None = None) -> None:
+        self.trace.instant(track, name, ts_ns, args)
+
+    # -- extraction ------------------------------------------------------------
+
+    def report(self) -> TelemetryReport:
+        """Pure-data report of everything recorded so far."""
+        return TelemetryReport(
+            events=list(self.trace.events) if self.trace else [],
+            recorded=self.trace.recorded if self.trace else 0,
+            dropped=self.trace.dropped if self.trace else 0,
+            metrics_rows=list(self.metrics.rows) if self.metrics else [],
+            interval_ns=self.metrics.interval_ns if self.metrics else None,
+        )
+
+
+#: Shared no-op instance every component defaults to.  Its ``tracing``
+#: flag is permanently False and it owns no recorder or registry, so a
+#: run without a TelemetrySpec records nothing and allocates nothing.
+DISABLED = Telemetry()

@@ -66,7 +66,26 @@ class TestProfiling:
         text = format_table(rows)
         lines = text.splitlines()
         assert len(lines) == 4
-        assert lines[0].startswith("a")
+        # Both columns are numeric, so headers and cells right-align.
+        assert lines[0].endswith("b")
+        assert lines[0].split() == ["a", "b"]
+        assert lines[2].split() == ["1", "2.50"]
+        assert lines[3].split() == ["10", "0.12"]
+        assert lines[3].startswith("10")  # widest cell flush left
+
+    def test_format_table_mixed_alignment(self):
+        rows = [{"name": "dpzip", "count": 7},
+                {"name": "cpu", "count": 12345}]
+        text = format_table(rows, intfmt=",")
+        lines = text.splitlines()
+        assert lines[2].startswith("dpzip")   # text column left-aligned
+        assert lines[3].endswith("12,345")    # ints formatted + rjust
+        assert lines[2].endswith("    7")
+
+    def test_format_table_bools_stay_text(self):
+        text = format_table([{"flag": True}, {"flag": False}],
+                            intfmt=",")
+        assert "True" in text and "False" in text
 
     def test_format_empty(self):
         assert format_table([]) == "(no rows)"
