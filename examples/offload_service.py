@@ -11,12 +11,16 @@ cost-model policy.
 
 Run:  python examples/offload_service.py
       python examples/offload_service.py --trace trace.json
+      python examples/offload_service.py --profile
 
 With `--trace`, the cost-model run records per-request spans and a
 metrics time series and exports them as Chrome trace-event JSON —
 open the file in https://ui.perfetto.dev to see admit → queue →
 dispatch → serve → complete per request, per-device tracks, and the
-queue-depth/utilization counters.
+queue-depth/utilization counters.  `--profile` attributes the
+cost-model run's *host* wall-clock to subsystems (engine, scheduler,
+telemetry) and prints the breakdown; combined with `--trace`, the
+host-time sections export as a second process in the same trace.
 """
 
 import argparse
@@ -52,6 +56,10 @@ def main() -> None:
                         help="export the cost-model run's telemetry as "
                              "Chrome trace-event JSON (default: "
                              "trace.json; open in ui.perfetto.dev)")
+    parser.add_argument("--profile", action="store_true",
+                        help="attribute the cost-model run's host "
+                             "wall-clock to subsystems and print the "
+                             "breakdown")
     args = parser.parse_args()
 
     print("Calibrating device cost models (runs the real codecs once; "
@@ -67,6 +75,8 @@ def main() -> None:
             spec = replace(spec, telemetry=TelemetrySpec(
                 trace=True, metrics_interval_ns=250_000.0))
         cluster = Cluster.from_spec(spec)
+        if args.profile and policy == "cost-model":
+            cluster.enable_profiling()
         cluster.open_loop(stream)
         result = cluster.run()
         results[policy] = result
@@ -81,6 +91,10 @@ def main() -> None:
     print(format_table(best.breakdown, floatfmt=".1f"))
     print("\nPer-device view (cost-model):\n")
     print(format_table(best.per_device, floatfmt=".2f"))
+
+    if args.profile:
+        print("\nHost wall-clock attribution (cost-model):\n")
+        print(results["cost-model"].wall_profile.to_text())
 
     if args.trace:
         result = results["cost-model"]

@@ -14,10 +14,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ServiceError
+from repro.errors import ServiceError, TelemetryError
 from repro.service.offload import ServiceReport
 from repro.store.store import StoreReport
-from repro.telemetry import TelemetryReport
+from repro.telemetry import (
+    HealthReport,
+    TelemetryReport,
+    WallClockProfile,
+    build_health,
+)
 
 
 @dataclass
@@ -34,6 +39,9 @@ class RunResult:
     telemetry: TelemetryReport | None = None
     #: Where :meth:`export_trace` last wrote the trace, if anywhere.
     trace_path: str | None = None
+    #: Host wall-clock attribution when the run was profiled
+    #: (``Cluster.enable_profiling()`` / ``--profile``); None otherwise.
+    wall_profile: WallClockProfile | None = None
 
     # -- convenience views -----------------------------------------------------
 
@@ -75,12 +83,45 @@ class RunResult:
         """Write this run's trace as Chrome trace-event JSON to ``path``
         (openable in ui.perfetto.dev) and remember it in ``trace_path``."""
         if self.telemetry is None:
-            raise ServiceError(
-                "this run recorded no telemetry; declare a telemetry "
-                "section in the ClusterSpec (or pass --trace) first"
+            raise TelemetryError(
+                "this run recorded no telemetry; set "
+                "TelemetrySpec.trace in the ClusterSpec's telemetry "
+                "section (or pass --trace) first"
+            )
+        if not self.telemetry.tracing:
+            raise TelemetryError(
+                "this run sampled metrics but recorded no spans; set "
+                "TelemetrySpec.trace (or pass --trace) to export a trace"
             )
         self.trace_path = self.telemetry.write_trace(path)
         return self.trace_path
+
+    def health(self) -> HealthReport:
+        """Scan this run's telemetry into a pass/warn/fail verdict.
+
+        Evaluates the stamped SLO objectives with burn-rate alerting
+        and runs the health scanners (saturation plateaus, shed
+        bursts, cache-hit collapse, span-chain gaps) over the sampled
+        series and recorded spans.  Requires telemetry: raises
+        :class:`~repro.errors.TelemetryError` naming the missing
+        ``TelemetrySpec`` field otherwise.
+        """
+        if self.telemetry is None:
+            raise TelemetryError(
+                "this run recorded no telemetry to analyze; set "
+                "TelemetrySpec.metrics_interval_ns (and ideally "
+                "TelemetrySpec.trace) in the ClusterSpec first"
+            )
+        report = self.telemetry
+        return build_health(
+            report.metrics_rows,
+            horizon_ns=report.horizon_ns,
+            objectives=report.objectives,
+            recorded=report.recorded,
+            dropped=report.dropped,
+            events=report.events,
+            run_row=self.row(),
+        )
 
     def row(self) -> dict:
         """Merged flat row: service columns plus store columns if a

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.errors import ClusterError, ClusterSpecError
+from repro.errors import ClusterError, ClusterSpecError, TelemetryError
 from repro.hw.cpu import CpuSoftwareDevice
 from repro.hw.dpzip import DpzipEngine
 from repro.hw.engine import CdpuDevice
@@ -44,7 +44,13 @@ from repro.service.request import OpenLoopStream, SloClass
 from repro.sim.engine import Simulator
 from repro.store.cache import BlockCache
 from repro.store.store import CompressedBlockStore
-from repro.telemetry import DISABLED, Telemetry
+from repro.telemetry import (
+    DISABLED,
+    ProfiledTelemetry,
+    SloObjective,
+    Telemetry,
+    WallClockProfiler,
+)
 from repro.workloads.mixed import MixedStream
 
 #: Maps each declarable device kind to its hw-layer constructor.
@@ -117,6 +123,7 @@ class Cluster:
         self._clients: list[ClusterClient] = []
         self._active_clients = 0
         self._ran = False
+        self._profiler: WallClockProfiler | None = None
 
     def _wire_telemetry(self) -> None:
         """Hand the live telemetry sink to every instrumented component."""
@@ -128,6 +135,41 @@ class Cluster:
             scheduler.spill_device.telemetry = self.telemetry
         if self.store is not None:
             self.store.telemetry = self.telemetry
+
+    def enable_profiling(self) -> WallClockProfiler:
+        """Attribute host wall-clock to subsystems during :meth:`run`.
+
+        Wires a :class:`WallClockProfiler` into the live objects:
+        scheduler submission/dispatch/completion bills to
+        ``scheduler``, store serving to ``store``, span recording and
+        metrics sampling to ``telemetry``, and the event loop plus
+        anything unclaimed to ``engine``.  Must be called before
+        :meth:`run`; unprofiled runs execute exactly the unwrapped
+        code.
+        """
+        if self._ran:
+            raise ClusterError(
+                "cluster already ran; enable profiling before run()"
+            )
+        if self._profiler is not None:
+            return self._profiler
+        profiler = WallClockProfiler()
+        self._profiler = profiler
+        if self.telemetry.tracing:
+            # Telemetry is slotted — swap in the profiled subclass and
+            # re-hand the sink to every instrumented component.
+            self.telemetry = ProfiledTelemetry.wrapping(
+                self.telemetry, profiler)
+            self._wire_telemetry()
+        if self.telemetry.metrics is not None:
+            profiler.wrap(self.telemetry.metrics, "sample", "telemetry")
+        scheduler = self.service.scheduler
+        for attr in ("submit", "pump", "_record_completion"):
+            profiler.wrap(scheduler, attr, "scheduler")
+        if self.store is not None:
+            profiler.wrap(self.store, "get", "store")
+            profiler.wrap(self.store, "put", "store")
+        return profiler
 
     # -- construction ----------------------------------------------------------
 
@@ -331,36 +373,114 @@ class Cluster:
                 "no clients attached; call open_loop()/closed_loop()/"
                 "store_client() before run()"
             )
-        self._ran = True
         horizon = max(client.duration_ns for client in self._clients)
+        metrics = self.telemetry.metrics
+        if metrics is not None and metrics.interval_ns > horizon:
+            raise TelemetryError(
+                f"TelemetrySpec.metrics_interval_ns "
+                f"({metrics.interval_ns:g} ns) exceeds the run horizon "
+                f"({horizon:g} ns); no sample would ever be taken — "
+                f"shorten the interval or lengthen the clients"
+            )
+        self._ran = True
         self.service.measure_until_ns = horizon
         if self.store is not None:
             self.store.measure_until_ns = horizon
-        if self.telemetry.metrics is not None:
+        if metrics is not None:
             self._register_default_gauges()
             self.sim.spawn(self._metrics_sampler(horizon))
         self._active_clients = len(self._clients)
-        for client in self._clients:
-            client.start(on_done=self._client_finished)
-        self.sim.run()
-        # Defensive: a timer-less batch config can strand closed-loop
-        # windows on a partial batch; flush and keep running as long as
-        # it makes progress.
-        while self._active_clients > 0:
-            before = self.sim.now
-            self.service.flush()
+        profiler = self._profiler
+        if profiler is not None:
+            # ``engine`` owns the whole window; the wrapped
+            # scheduler/store/telemetry sections carve their self-time
+            # out of it, so the residual is the event loop proper.
+            profiler.begin()
+            profiler.push("engine")
+        try:
+            for client in self._clients:
+                client.start(on_done=self._client_finished)
             self.sim.run()
-            if self.sim.now == before:
-                break
+            # Defensive: a timer-less batch config can strand
+            # closed-loop windows on a partial batch; flush and keep
+            # running as long as it makes progress.
+            while self._active_clients > 0:
+                before = self.sim.now
+                self.service.flush()
+                self.sim.run()
+                if self.sim.now == before:
+                    break
+        finally:
+            if profiler is not None:
+                profiler.pop()
+                profiler.end()
+        telemetry_report = None
+        if self.telemetry.enabled:
+            telemetry_report = self.telemetry.report()
+            telemetry_report.horizon_ns = horizon
+            telemetry_report.objectives = self._objectives()
+            if profiler is not None:
+                telemetry_report.host_sections = list(profiler.sections)
         return RunResult(
             duration_ns=horizon,
             service=self.service.report(duration_ns=horizon),
             store=(self.store.report(duration_ns=horizon)
                    if self.store is not None else None),
             clients=[client.row() for client in self._clients],
-            telemetry=(self.telemetry.report()
-                       if self.telemetry.enabled else None),
+            telemetry=telemetry_report,
+            wall_profile=(profiler.profile()
+                          if profiler is not None else None),
         )
+
+    # -- SLO objectives --------------------------------------------------------
+
+    def _objectives(self) -> tuple[SloObjective, ...]:
+        """Declared objectives plus the defaults this spec implies."""
+        spec = self.spec
+        declared: tuple[SloObjective, ...] = ()
+        if spec is not None and spec.telemetry is not None:
+            declared = spec.telemetry.objectives
+        taken = {objective.name for objective in declared}
+        defaults = [objective for objective in self._default_objectives()
+                    if objective.name not in taken]
+        return declared + tuple(defaults)
+
+    def _default_objectives(self) -> list[SloObjective]:
+        """Monitors every sampled run gets for free.
+
+        Derived from the spec: an admission shed ceiling always, one
+        deadline-miss budget per declared SLO class (the mix's, or the
+        store tier's read/write classes), and a draw cap when the spec
+        sets a power budget.  A declared objective with the same name
+        wins.  All carry ``source="default"`` so a column that never
+        materialises is an info finding, not a failure.
+        """
+        spec = self.spec
+        objectives = [SloObjective(
+            name="shed-ceiling", column="shed_rate", limit=0.0,
+            budget=0.02, source="default",
+            description="admission control sheds (almost) nothing",
+        )]
+        slo_names: list[str] = []
+        if spec is not None and spec.slo_mix is not None:
+            slo_names = [share.slo.name for share in spec.slo_mix]
+        elif spec is not None and spec.store is not None:
+            slo_names = [spec.store.read_slo.name,
+                         spec.store.write_slo.name]
+        for name in dict.fromkeys(slo_names):
+            objectives.append(SloObjective(
+                name=f"miss-{name}", column=f"miss_{name}", limit=0.1,
+                budget=0.05, source="default",
+                description=f"{name} deadline-miss rate under 10%",
+            ))
+        if spec is not None and spec.power_budget_w is not None:
+            objectives.append(SloObjective(
+                name="power-cap", column="power_w",
+                limit=spec.power_budget_w, budget=0.02,
+                source="default",
+                description="fleet draw honors the power budget",
+            ))
+        return objectives
 
     # -- telemetry sampling ----------------------------------------------------
 

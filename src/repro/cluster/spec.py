@@ -508,7 +508,7 @@ class ReconfigEvent:
 
 @dataclass(frozen=True)
 class TelemetrySpec:
-    """What a cluster run records about itself.
+    """What a cluster run records — and monitors — about itself.
 
     ``trace`` turns on per-request span recording into a bounded
     flight recorder of ``trace_capacity`` events (oldest dropped
@@ -516,13 +516,21 @@ class TelemetrySpec:
     the metrics registry at that simulated-time period.  Both default
     off — a spec without a telemetry section runs the untouched
     zero-cost path.
+
+    ``objectives`` declares SLO monitors
+    (:class:`~repro.telemetry.analysis.SloObjective`) burn-rate-
+    evaluated over the sampled series; they join the default monitors
+    the session derives from the spec (shed ceiling, per-class miss
+    budgets, the power cap) in ``RunResult.health()``.
     """
 
     trace: bool = False
     trace_capacity: int = 262_144
     metrics_interval_ns: float | None = None
+    objectives: tuple = ()
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "objectives", tuple(self.objectives))
         if self.trace_capacity < 1:
             raise ClusterSpecError(
                 f"trace capacity must be >= 1, got {self.trace_capacity}"
@@ -533,6 +541,13 @@ class TelemetrySpec:
                 f"metrics interval must be > 0 ns, "
                 f"got {self.metrics_interval_ns}"
             )
+        names = [objective.name for objective in self.objectives]
+        duplicates = sorted({name for name in names
+                             if names.count(name) > 1})
+        if duplicates:
+            raise ClusterSpecError(
+                f"duplicate SLO objective name(s) {duplicates}"
+            )
 
     @property
     def enabled(self) -> bool:
@@ -540,11 +555,14 @@ class TelemetrySpec:
 
     @classmethod
     def from_dict(cls, data: dict) -> "TelemetrySpec":
+        from repro.telemetry.analysis import SloObjective
         _check_keys(cls, data)
         return cls(
             trace=data.get("trace", False),
             trace_capacity=data.get("trace_capacity", 262_144),
             metrics_interval_ns=data.get("metrics_interval_ns"),
+            objectives=tuple(SloObjective.from_dict(entry)
+                             for entry in data.get("objectives", ())),
         )
 
 

@@ -3,7 +3,7 @@
 Runs the requested experiments (default: all) and prints their tables.
 ``--full`` switches off quick mode for paper-scale workloads.
 
-Five dedicated subcommands expose the serving layer with tunable
+Six dedicated subcommands expose the serving layer with tunable
 parameters (the sweeps' registered ids run the same sweeps at
 defaults):
 
@@ -12,6 +12,11 @@ defaults):
   (``--example-spec`` prints a starting point); open-loop,
   closed-loop (``--closed-loop``) or store traffic depending on the
   spec and flags;
+* ``repro-experiment report --spec cluster.json`` — one run with
+  telemetry forced on, analyzed into a pass/warn/fail
+  :class:`~repro.telemetry.HealthReport` (SLO burn-rate alerts,
+  scanner findings); ``--profile`` adds the host wall-clock
+  attribution, ``--trace`` exports the annotated trace;
 * ``repro-experiment sweep --spec sweep.json --workers N`` — a whole
   experiment grid from one declarative
   :class:`~repro.sweep.SweepSpec` document, executed inline or over a
@@ -40,7 +45,7 @@ import sys
 from repro.errors import ReproError
 from repro.experiments import REGISTRY, run_experiment
 
-SUBCOMMANDS = ("cluster", "sweep", "service", "store", "slo")
+SUBCOMMANDS = ("cluster", "report", "sweep", "service", "store", "slo")
 
 
 def _run_options(duration_ms: float, seed: int,
@@ -80,6 +85,20 @@ def _write_outputs(result, args) -> None:
         result.to_json(args.json)
 
 
+def _positive_ms(text: str) -> float:
+    """argparse type: a strictly positive millisecond count."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") \
+            from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"interval must be > 0 ms, got {value:g}"
+        )
+    return value
+
+
 def _telemetry_options() -> argparse.ArgumentParser:
     """Shared telemetry flags for the cluster/sweep subcommands."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -88,10 +107,21 @@ def _telemetry_options() -> argparse.ArgumentParser:
                        help="record per-request spans and export them "
                             "as Chrome trace-event JSON (open the file "
                             "in ui.perfetto.dev)")
-    group.add_argument("--metrics-interval-ms", type=float, metavar="MS",
+    group.add_argument("--metrics-interval-ms", type=_positive_ms,
+                       metavar="MS",
                        help="sample queue depth, utilization, miss and "
                             "admission rates every MS of simulated time")
     return parent
+
+
+def _warn_dropped(report, prog: str) -> None:
+    """Loud stderr warning when the trace ring buffer overflowed."""
+    if report is not None and report.dropped > 0:
+        print(f"repro-experiment {prog}: warning: trace ring buffer "
+              f"overflowed — dropped {report.dropped} of "
+              f"{report.recorded} recorded events (oldest first); "
+              f"raise TelemetrySpec.trace_capacity to keep them",
+              file=sys.stderr)
 
 
 def _telemetry_override(spec, trace: bool, interval_ms: float | None):
@@ -110,6 +140,46 @@ def _telemetry_override(spec, trace: bool, interval_ms: float | None):
     ))
 
 
+def _traffic_options() -> argparse.ArgumentParser:
+    """Shared client-traffic flags for the cluster/report subcommands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("traffic options")
+    group.add_argument("--load-gbps", type=float, default=36.0,
+                       help="open-loop/store offered load in GB/s")
+    group.add_argument("--closed-loop", action="store_true",
+                       help="drive closed-loop windowed clients instead "
+                            "of an open-loop stream")
+    group.add_argument("--clients", type=int, default=4,
+                       help="number of closed-loop clients")
+    group.add_argument("--window", type=int, default=8,
+                       help="per-client in-flight window")
+    group.add_argument("--think-us", type=float, default=5.0,
+                       help="per-client think time between requests")
+    group.add_argument("--read-fraction", type=float, default=0.8,
+                       help="store traffic read mix")
+    return parent
+
+
+def _attach_clients(cluster, spec, args, duration_ns: float) -> None:
+    """Attach the traffic the shared flags describe to ``cluster``."""
+    if spec.store is not None:
+        cluster.store_client(offered_gbps=args.load_gbps,
+                             duration_ns=duration_ns,
+                             read_fraction=args.read_fraction,
+                             tenants=args.tenants, seed=args.seed)
+    elif args.closed_loop:
+        for index in range(args.clients):
+            cluster.closed_loop(window=args.window,
+                                duration_ns=duration_ns,
+                                think_ns=args.think_us * 1000.0,
+                                tenant=index, seed=args.seed + index,
+                                name=f"client{index}")
+    else:
+        cluster.open_loop(offered_gbps=args.load_gbps,
+                          duration_ns=duration_ns,
+                          tenants=args.tenants, seed=args.seed)
+
+
 def _point_trace_path(base: str, index: int) -> str:
     """Per-point trace file name under a sweep's --trace base path."""
     stem, dot, ext = base.rpartition(".")
@@ -126,7 +196,7 @@ def cluster_main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiment cluster",
         parents=[_run_options(duration_ms=2.0, seed=1234),
-                 _telemetry_options()],
+                 _traffic_options(), _telemetry_options()],
         description="Serve one run over a declarative cluster spec: "
                     "open-loop by default, closed-loop windowed clients "
                     "with --closed-loop, mixed GET/PUT store traffic "
@@ -139,19 +209,9 @@ def cluster_main(argv: list[str]) -> int:
     parser.add_argument("--with-store", action="store_true",
                         help="include a block-store section in the "
                              "--example-spec output")
-    parser.add_argument("--load-gbps", type=float, default=36.0,
-                        help="open-loop/store offered load in GB/s")
-    parser.add_argument("--closed-loop", action="store_true",
-                        help="drive closed-loop windowed clients instead "
-                             "of an open-loop stream")
-    parser.add_argument("--clients", type=int, default=4,
-                        help="number of closed-loop clients")
-    parser.add_argument("--window", type=int, default=8,
-                        help="per-client in-flight window")
-    parser.add_argument("--think-us", type=float, default=5.0,
-                        help="per-client think time between requests")
-    parser.add_argument("--read-fraction", type=float, default=0.8,
-                        help="store traffic read mix")
+    parser.add_argument("--profile", action="store_true",
+                        help="attribute host wall-clock to subsystems "
+                             "and print the profile after the run")
     args = parser.parse_args(argv)
     if args.example_spec:
         print(default_cluster_spec(store=args.with_store).to_json())
@@ -168,22 +228,9 @@ def cluster_main(argv: list[str]) -> int:
         spec = _telemetry_override(spec, bool(args.trace),
                                    args.metrics_interval_ms)
         cluster = Cluster.from_spec(spec)
-        if spec.store is not None:
-            cluster.store_client(offered_gbps=args.load_gbps,
-                                 duration_ns=duration_ns,
-                                 read_fraction=args.read_fraction,
-                                 tenants=args.tenants, seed=args.seed)
-        elif args.closed_loop:
-            for index in range(args.clients):
-                cluster.closed_loop(window=args.window,
-                                    duration_ns=duration_ns,
-                                    think_ns=args.think_us * 1000.0,
-                                    tenant=index, seed=args.seed + index,
-                                    name=f"client{index}")
-        else:
-            cluster.open_loop(offered_gbps=args.load_gbps,
-                              duration_ns=duration_ns,
-                              tenants=args.tenants, seed=args.seed)
+        if args.profile:
+            cluster.enable_profiling()
+        _attach_clients(cluster, spec, args, duration_ns)
         result = cluster.run()
     except (OSError, ReproError) as error:
         print(f"repro-experiment cluster: error: {error}", file=sys.stderr)
@@ -202,12 +249,90 @@ def cluster_main(argv: list[str]) -> int:
         print(f"\nMetrics time series ({len(shown)} of "
               f"{len(metrics_rows)} samples):\n")
         print(format_table(shown, floatfmt=".3f", intfmt=","))
+    if args.profile:
+        print()
+        print(result.wall_profile.to_text())
     if args.trace:
         report = result.telemetry
         result.export_trace(args.trace)
         print(f"\nwrote {args.trace}: {len(report.events)} trace events "
               f"({report.dropped} dropped) — open in ui.perfetto.dev")
+    _warn_dropped(result.telemetry, "cluster")
     return 0
+
+
+def report_main(argv: list[str]) -> int:
+    """The ``report`` subcommand: one run, analyzed into a health
+    verdict.
+
+    Forces telemetry on (spans + metrics sampling at
+    ``--metrics-interval-ms``, default 1/50th of the run duration),
+    runs the spec once, and prints the
+    :class:`~repro.telemetry.HealthReport`: SLO burn-rate alerts,
+    scanner findings, the per-objective pass/fail roll-up.  Exit code
+    1 when the verdict is ``fail``, so the command doubles as a CI
+    gate.
+    """
+    from repro.cluster import Cluster, ClusterSpec
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment report",
+        parents=[_run_options(duration_ms=2.0, seed=1234),
+                 _traffic_options()],
+        description="Run one cluster spec with telemetry forced on and "
+                    "print its run-health verdict: SLO burn-rate "
+                    "alerts, scanner findings (saturation plateaus, "
+                    "shed bursts, cache collapse, span gaps) and the "
+                    "per-objective roll-up. Exits 1 on a fail verdict.",
+    )
+    parser.add_argument("--spec", metavar="cluster.json",
+                        help="path to a ClusterSpec JSON document")
+    parser.add_argument("--metrics-interval-ms", type=_positive_ms,
+                        metavar="MS",
+                        help="sampling period in simulated ms "
+                             "(default: duration / 50)")
+    parser.add_argument("--markdown", action="store_true",
+                        help="render the health report as markdown")
+    parser.add_argument("--profile", action="store_true",
+                        help="also attribute host wall-clock to "
+                             "subsystems and print the profile")
+    parser.add_argument("--trace", metavar="trace.json",
+                        help="also export the trace (request spans, "
+                             "metric counters, alert instants and — "
+                             "with --profile — the host-time track)")
+    args = parser.parse_args(argv)
+    if not args.spec:
+        print("repro-experiment report: error: --spec cluster.json is "
+              "required ('repro-experiment cluster --example-spec' "
+              "prints a starting point)", file=sys.stderr)
+        return 2
+    duration_ns = args.duration_ms * 1e6
+    interval_ms = args.metrics_interval_ms \
+        if args.metrics_interval_ms is not None else args.duration_ms / 50.0
+    try:
+        with open(args.spec, encoding="utf-8") as handle:
+            spec = ClusterSpec.from_json(handle.read())
+        spec = _telemetry_override(spec, True, interval_ms)
+        cluster = Cluster.from_spec(spec)
+        if args.profile:
+            cluster.enable_profiling()
+        _attach_clients(cluster, spec, args, duration_ns)
+        result = cluster.run()
+        health = result.health()
+    except (OSError, ReproError) as error:
+        print(f"repro-experiment report: error: {error}", file=sys.stderr)
+        return 2
+    print(health.to_markdown() if args.markdown else health.to_text())
+    if args.profile:
+        print()
+        print(result.wall_profile.to_text())
+    if args.trace:
+        result.export_trace(args.trace)
+        print(f"\nwrote {args.trace}: {len(result.telemetry.events)} "
+              f"trace events, {len(health.alerts)} alert instant(s) — "
+              f"open in ui.perfetto.dev")
+    _warn_dropped(result.telemetry, "report")
+    return 1 if health.verdict == "fail" else 0
 
 
 def sweep_main(argv: list[str]) -> int:
@@ -283,6 +408,9 @@ def sweep_main(argv: list[str]) -> int:
                    for point, run in result]
         print(f"wrote {len(written)} per-point trace files "
               f"({_point_trace_path(args.trace, 0)} ...)")
+    for point, run in result:
+        if run.telemetry is not None and run.telemetry.dropped > 0:
+            _warn_dropped(run.telemetry, f"sweep point {point.index}")
     if result.failures:
         print(f"\n{len(result.failures)} point(s) failed:",
               file=sys.stderr)
@@ -463,6 +591,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "cluster":
         return cluster_main(argv[1:])
+    if argv and argv[0] == "report":
+        return report_main(argv[1:])
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
     if argv and argv[0] == "service":
@@ -476,8 +606,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("names", nargs="*",
                         help="experiment ids (default: all), or the "
-                             "'cluster'/'sweep'/'service'/'store'/'slo' "
-                             "subcommands (see e.g. "
+                             "'cluster'/'report'/'sweep'/'service'/"
+                             "'store'/'slo' subcommands (see e.g. "
                              "'repro-experiment sweep --help')")
     parser.add_argument("--full", action="store_true",
                         help="paper-scale workloads instead of quick mode")

@@ -224,8 +224,11 @@ class CompressingFtl:
                 self.stats.split_writes += 1
             segments.append(self._append_segment(lpn, blob, cursor, chunk))
             cursor += chunk
-        if len(segments) > 2:
-            # Compressed 4 KB output never legitimately spans >2 pages.
+        # A blob of <= PAGE_BYTES never legitimately spans more than two
+        # pages; raw-stored incompressible output carries codec framing
+        # overhead past PAGE_BYTES and may take one extra piece when it
+        # starts mid-page.
+        if len(segments) > (len(blob) - 1) // PAGE_BYTES + 2:
             raise CapacityError(
                 f"logical page {lpn} fragmented into {len(segments)} pieces"
             )

@@ -103,9 +103,20 @@ class SweepResult:
 
     def rows(self) -> list[dict]:
         """One merged flat row per successful point, tagged with its
-        axis coordinates, grid index, spec hash and seed."""
-        return [self._tagged(point, result.row())
-                for point, result in self]
+        axis coordinates, grid index, spec hash and seed.
+
+        Points run with telemetry additionally carry the health
+        columns (``health`` verdict + fired ``alerts`` count) from
+        :meth:`~repro.cluster.result.RunResult.health`, so a sweep
+        table shows at a glance which grid corners blew their SLOs.
+        """
+        rows = []
+        for point, result in self:
+            merged = result.row()
+            if result.telemetry is not None:
+                merged.update(result.health().row())
+            rows.append(self._tagged(point, merged))
+        return rows
 
     def client_rows(self) -> list[dict]:
         """Per-client rows across every point, tagged the same way."""

@@ -36,19 +36,36 @@ class TelemetryReport:
 
     ``events`` are the raw flight-recorder tuples, ``metrics_rows``
     the sampled time series.  Everything downstream — trace export,
-    metrics tables, determinism comparisons — derives from this.
+    metrics tables, health analysis, determinism comparisons —
+    derives from this.  ``objectives``/``horizon_ns`` are stamped by
+    the cluster session so burn-rate monitors evaluate identically in
+    the parent and in sweep workers; ``host_sections`` are wall-clock
+    profiler intervals exported as the trace's host-time track.
     """
 
     events: list = field(default_factory=list)
     recorded: int = 0
     dropped: int = 0
+    tracing: bool = False
     metrics_rows: list[dict] = field(default_factory=list)
     interval_ns: float | None = None
+    horizon_ns: float | None = None
+    objectives: tuple = ()
+    host_sections: list = field(default_factory=list)
+
+    def alerts(self) -> list:
+        """Fired SLO burn-rate alerts for the stamped objectives."""
+        from repro.telemetry.analysis import evaluate_objectives
+        return evaluate_objectives(self.metrics_rows, self.objectives,
+                                   horizon_ns=self.horizon_ns)
 
     def trace_document(self) -> dict:
-        """Chrome trace-event document (spans + metric counters)."""
+        """Chrome trace-event document (spans + metric counters +
+        alert instants + the host-time track, when present)."""
         return trace_document(self.events, dropped=self.dropped,
-                              metrics_rows=self.metrics_rows)
+                              metrics_rows=self.metrics_rows,
+                              alerts=self.alerts(),
+                              host_sections=self.host_sections)
 
     def trace_json(self) -> str:
         """The trace document as deterministic JSON text."""
@@ -122,6 +139,7 @@ class Telemetry:
             events=list(self.trace.events) if self.trace else [],
             recorded=self.trace.recorded if self.trace else 0,
             dropped=self.trace.dropped if self.trace else 0,
+            tracing=self.tracing,
             metrics_rows=list(self.metrics.rows) if self.metrics else [],
             interval_ns=self.metrics.interval_ns if self.metrics else None,
         )

@@ -70,15 +70,28 @@ class TraceRecorder:
 
 
 def trace_document(events: Iterable[tuple], dropped: int = 0,
-                   metrics_rows: list[dict] | None = None) -> dict:
+                   metrics_rows: list[dict] | None = None,
+                   alerts: Iterable | None = None,
+                   host_sections: Iterable[tuple] | None = None) -> dict:
     """Chrome trace-event JSON document for recorded ``events``.
 
     ``metrics_rows`` (the sampled time series, if any) are embedded as
     counter events (``ph="C"``) so Perfetto plots queue depth,
     utilization and power draw as tracks alongside the request spans.
+    ``alerts`` (fired SLO burn-rate monitors from
+    :mod:`repro.telemetry.analysis`) become instants on the control
+    track; ``host_sections`` — ``(subsystem, start_ns, dur_ns)``
+    host-clock intervals from the wall-clock profiler — render as a
+    second process (``pid=2``) so real time sits next to simulated
+    time in the same view.
     """
     events = list(events)
-    tracks = sorted({event[1] for event in events})
+    alerts = list(alerts or ())
+    host_sections = list(host_sections or ())
+    tracks = {event[1] for event in events}
+    if alerts:
+        tracks.add("control")
+    tracks = sorted(tracks)
     tids = {track: index + 1 for index, track in enumerate(tracks)}
     trace_events: list[dict] = []
     for track in tracks:
@@ -105,6 +118,33 @@ def trace_document(events: Iterable[tuple], dropped: int = 0,
             trace_events.append({
                 "name": key, "cat": "metrics", "ph": "C", "ts": ts_us,
                 "pid": 1, "args": {"value": value},
+            })
+    for alert in alerts:
+        trace_events.append({
+            "name": f"alert:{alert.objective}", "cat": "alert",
+            "ph": "i", "s": "t",
+            "ts": alert.window_end_ms * 1000.0,
+            "pid": 1, "tid": tids["control"],
+            "args": alert.trace_args(),
+        })
+    if host_sections:
+        host_tracks = sorted({section[0] for section in host_sections})
+        host_tids = {track: index + 1
+                     for index, track in enumerate(host_tracks)}
+        trace_events.append({
+            "name": "process_name", "ph": "M", "pid": 2,
+            "args": {"name": "host-clock"},
+        })
+        for track in host_tracks:
+            trace_events.append({
+                "name": "thread_name", "ph": "M", "pid": 2,
+                "tid": host_tids[track], "args": {"name": f"host:{track}"},
+            })
+        for name, start_ns, dur_ns in host_sections:
+            trace_events.append({
+                "name": name, "cat": "host", "ph": "X",
+                "ts": start_ns / 1000.0, "dur": dur_ns / 1000.0,
+                "pid": 2, "tid": host_tids[name],
             })
     return {
         "traceEvents": trace_events,

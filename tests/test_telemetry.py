@@ -23,7 +23,7 @@ from repro.cluster import (
     TelemetrySpec,
     default_cluster_spec,
 )
-from repro.errors import ClusterSpecError, ServiceError, TelemetryError
+from repro.errors import ClusterSpecError, TelemetryError
 from repro.sim.stats import LatencyRecorder, percentile
 from repro.sweep import SweepAxis, SweepRunner, SweepSpec, WorkloadSpec
 from repro.telemetry import (
@@ -228,7 +228,17 @@ class TestClusterIntegration:
         result = run_cheap(CHEAP_CLUSTER)
         assert result.telemetry is None
         assert result.metrics_rows() == []
-        with pytest.raises(ServiceError, match="--trace"):
+        with pytest.raises(TelemetryError, match="TelemetrySpec.trace"):
+            result.export_trace(str(tmp_path / "trace.json"))
+        with pytest.raises(TelemetryError,
+                           match="TelemetrySpec.metrics_interval_ns"):
+            result.health()
+
+    def test_export_metrics_only_names_trace_field(self, tmp_path):
+        result = run_cheap(traced(CHEAP_CLUSTER, trace=False,
+                                  metrics_interval_ns=1e5))
+        assert result.metrics_rows()
+        with pytest.raises(TelemetryError, match="TelemetrySpec.trace"):
             result.export_trace(str(tmp_path / "trace.json"))
 
 
