@@ -164,21 +164,30 @@ class OpenLoopClient(ClusterClient):
         self.sim.spawn(self._arrivals())
 
     def _arrivals(self) -> Generator[Any, Any, None]:
+        # The hottest client loop in the repo (every open-loop request
+        # passes through once): hoist the per-iteration lookups and use
+        # bound methods for the hooks instead of constructing two
+        # closures per request.
         stream = self.stream
         rng = stream.rng()
+        sim = self.sim
+        timeout = sim.timeout
+        next_gap_ns = stream.next_gap_ns
+        make_request = stream.make_request
+        submit = self.service.submit
+        complete = self._complete
+        drop = self._drop
+        duration_ns = stream.duration_ns
         while True:
-            yield self.sim.timeout(stream.next_gap_ns(rng))
-            if self.sim.now >= stream.duration_ns:
+            yield timeout(next_gap_ns(rng))
+            if sim.now >= duration_ns:
                 break
-            request = stream.make_request(rng)
             self.submitted += 1
-            self.service.submit(
-                request,
-                on_complete=lambda req, dev, cost:
-                    self._record_completion(req),
-                on_drop=lambda req: self._drop(req),
-            )
+            submit(make_request(rng), on_complete=complete, on_drop=drop)
         self._done()
+
+    def _complete(self, request: OffloadRequest, device, cost) -> None:
+        self._record_completion(request)
 
     def _drop(self, request: OffloadRequest) -> None:
         self.failed += 1

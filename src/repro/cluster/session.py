@@ -38,7 +38,7 @@ from repro.cluster.spec import ClusterSpec, DeviceSpec
 from repro.profiling.powermeter import PowerMeter
 from repro.service.admission import AdmissionController
 from repro.service.control import FleetController
-from repro.service.model import DeviceCostModel
+from repro.service.model import CostTable, DeviceCostModel
 from repro.service.offload import OffloadService, build_fleet
 from repro.service.request import OpenLoopStream, SloClass
 from repro.sim.engine import Simulator
@@ -64,6 +64,11 @@ _DEVICE_BUILDERS: dict[str, Callable[[DeviceSpec], CdpuDevice]] = {
 
 #: Process-wide calibration cache: (DeviceSpec.cache_key(), op) -> model.
 _MODEL_CACHE: dict[tuple, DeviceCostModel] = {}
+
+#: Process-wide cost-table cache, keyed like :data:`_MODEL_CACHE`.
+#: Identical fleet members share one table per op, so the per-size row
+#: cache warms once for the whole fleet (and across sweep runs).
+_TABLE_CACHE: dict[tuple, CostTable] = {}
 
 
 def build_device(spec: DeviceSpec) -> CdpuDevice:
@@ -92,6 +97,21 @@ def calibrated_models(spec: DeviceSpec, device: CdpuDevice,
             _MODEL_CACHE[key] = model
         models[op] = model
     return models
+
+
+def calibrated_tables(spec: DeviceSpec, device: CdpuDevice,
+                      ops: tuple[str, ...]) -> dict[str, CostTable]:
+    """Per-op :class:`CostTable` lookups for ``device``, cached like
+    :func:`calibrated_models` (one table per distinct device kind)."""
+    tables: dict[str, CostTable] = {}
+    for op, model in calibrated_models(spec, device, ops).items():
+        key = (spec.cache_key(), op)
+        table = _TABLE_CACHE.get(key)
+        if table is None or table.model is not model:
+            table = CostTable(model)
+            _TABLE_CACHE[key] = table
+        tables[op] = table
+    return tables
 
 
 class Cluster:
@@ -195,6 +215,16 @@ class Cluster:
             queue_limit=fleet_spec.queue_limit,
             fair_share_tenants=fleet_spec.fair_share_tenants,
         )
+        # Calibration-table fast path: members built from a spec price
+        # requests off shared precomputed tables (bit-identical to the
+        # live models they wrap) instead of recomputing the linear fits
+        # per candidate per request.
+        for member, device_spec in zip(members, fleet_spec.devices):
+            member.cost_tables = calibrated_tables(
+                device_spec, member.device, fleet_spec.ops)
+        if spill_member is not None and fleet_spec.spill is not None:
+            spill_member.cost_tables = calibrated_tables(
+                fleet_spec.spill, spill_member.device, fleet_spec.ops)
         admission = None
         if spec.admission is not None:
             admission = AdmissionController(

@@ -25,7 +25,7 @@ from typing import Any, Callable, Generator
 
 from repro.errors import ServiceError
 from repro.hw.engine import CdpuDevice, Placement
-from repro.service.model import DeviceCostModel, ModeledCost
+from repro.service.model import CostTable, DeviceCostModel, ModeledCost
 from repro.service.request import OffloadRequest
 from repro.sim.engine import Simulator, Store
 from repro.sim.stats import ThroughputTracker
@@ -74,8 +74,8 @@ class Batcher:
             self.flush_now()
         elif len(self._buffer) == 1 and self.timeout_ns is not None:
             generation = self._generation
-            timer = self.sim.timeout(self.timeout_ns)
-            timer.add_callback(lambda _event: self._expire(generation))
+            self.sim.call_later(self.timeout_ns,
+                                lambda: self._expire(generation))
 
     def _expire(self, generation: int) -> None:
         if generation == self._generation and self._buffer:
@@ -101,7 +101,7 @@ class Batcher:
         return buffer
 
 
-@dataclass
+@dataclass(slots=True)
 class _Submission:
     """One queued request plus its predicted cost and completion hook."""
 
@@ -136,6 +136,7 @@ class FleetDevice:
         else:
             self.models = {"compress": DeviceCostModel.calibrate(device)}
         engines = max(device.engine_count, 1)
+        self._engines = engines
         if queue_limit is None:
             # Enough slack to keep every engine fed through transfer
             # phases without letting one device absorb the whole fleet's
@@ -155,6 +156,11 @@ class FleetDevice:
                                self._launch_batch)
         self._batch_queue = Store(sim)
         sim.spawn(self._submitter())
+        #: Per-op precomputed cost tables (:class:`~repro.service.model.
+        #: CostTable`), attached at cluster assembly and shared across
+        #: identical fleet members; empty means predict off the live
+        #: model.
+        self.cost_tables: dict[str, CostTable] = {}
         self.state = DeviceState.ONLINE
         #: Brown-out/power-cap derating: fraction of nominal engine
         #: speed (1.0 = healthy).  Served engine occupancy and response
@@ -201,8 +207,17 @@ class FleetDevice:
     # -- lifecycle -------------------------------------------------------------
 
     @property
-    def is_online(self) -> bool:
-        return self.state is DeviceState.ONLINE
+    def state(self) -> DeviceState:
+        return self._state
+
+    @state.setter
+    def state(self, value: DeviceState) -> None:
+        # ``is_online`` is kept as a plain attribute so the dispatch
+        # hot path (every policy filters the fleet per request) reads
+        # it without a property call; the setter keeps it in sync with
+        # the (rarely changed) lifecycle state.
+        self._state = value
+        self.is_online = value is DeviceState.ONLINE
 
     def set_speed(self, factor: float) -> None:
         """Derate (or restore) the device to ``factor`` of nominal speed."""
@@ -252,8 +267,17 @@ class FleetDevice:
         cached = self._cost_cache
         if cached is not None and cached[0] is request:
             return cached[1]
-        cost = self.model_for(request.op).predict(request.nbytes,
-                                                  request.ratio)
+        # Calibration-table fast path: identical devices share one
+        # precomputed table per op (attached at cluster assembly), so
+        # the common case is a dict hit plus the ratio interpolation.
+        # Derated devices fall back to the live model — the table is
+        # built against nominal calibration.
+        table = self.cost_tables.get(request.op)
+        if table is not None and self.speed_factor == 1.0:
+            cost = table.predict(request.nbytes, request.ratio)
+        else:
+            cost = self.model_for(request.op).predict(request.nbytes,
+                                                      request.ratio)
         self._cost_cache = (request, cost)
         return cost
 
@@ -267,8 +291,7 @@ class FleetDevice:
         prices itself honestly and placement adapts.
         """
         cost = self._predict(request)
-        engines = max(self.device.engine_count, 1)
-        engine_wait = (self.backlog_ns / engines
+        engine_wait = (self.backlog_ns / self._engines
                        + cost.engine_ns) / self.speed_factor
         return (engine_wait + cost.submit_ns + cost.pre_ns + cost.post_ns)
 

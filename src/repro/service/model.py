@@ -28,7 +28,7 @@ from repro.hw.engine import CdpuDevice
 from repro.workloads.datagen import ratio_controlled_bytes
 
 
-@dataclass
+@dataclass(slots=True)
 class ModeledCost:
     """Predicted latency budget for one request (all ns)."""
 
@@ -42,7 +42,7 @@ class ModeledCost:
         return self.submit_ns + self.pre_ns + self.engine_ns + self.post_ns
 
 
-@dataclass
+@dataclass(slots=True)
 class RatioAnchor:
     """Linear-in-size engine occupancy fit at one achieved ratio."""
 
@@ -151,6 +151,78 @@ class DeviceCostModel:
             post_overhead_ns=post_overhead,
             post_per_byte_ns=post_per_byte,
         )
+
+
+class CostTable:
+    """Precomputed lookup over a :class:`DeviceCostModel`.
+
+    The dispatch hot path predicts a cost for every candidate device on
+    every request; with workload generators drawing sizes from a small
+    fixed palette, those predictions endlessly recompute the same
+    handful of linear fits.  A ``CostTable`` caches, per request size,
+    the size-dependent terms (submit/pre/post budgets and the engine
+    occupancy at each calibration anchor) and finishes a prediction
+    with only the ratio interpolation.
+
+    Every arithmetic expression is copied verbatim from
+    :meth:`DeviceCostModel.predict` / ``_engine_ns`` and evaluated in
+    the same order on the same doubles, so ``table.predict(n, r)`` is
+    **bit-identical** to ``model.predict(n, r)`` — the byte-identity
+    bar of the golden-run tests holds with tables on or off.
+
+    One table per (device-kind, op) is built at cluster assembly and
+    shared across identical fleet members (they share the calibrated
+    model too), so the row cache warms once for the whole fleet.
+    """
+
+    __slots__ = ("model", "_rows")
+
+    def __init__(self, model: DeviceCostModel) -> None:
+        self.model = model
+        #: nbytes -> (submit, pre, post, anchor ratios, anchor engines)
+        self._rows: dict[int, tuple[float, float, float,
+                                    tuple[float, ...],
+                                    tuple[float, ...]]] = {}
+
+    def _build_row(self, nbytes: int) -> tuple:
+        if nbytes <= 0:
+            raise ServiceError(f"request size must be > 0, got {nbytes}")
+        model = self.model
+        anchors = model.anchors
+        row = (
+            max(model.submit_ns, 0.0),
+            max(model.pre_overhead_ns
+                + model.pre_per_byte_ns * nbytes, 0.0),
+            max(model.post_overhead_ns
+                + model.post_per_byte_ns * nbytes, 0.0),
+            tuple(anchor.ratio for anchor in anchors),
+            tuple(anchor.overhead_ns + anchor.per_byte_ns * nbytes
+                  for anchor in anchors),
+        )
+        self._rows[nbytes] = row
+        return row
+
+    def predict(self, nbytes: int, ratio: float = 1.0) -> ModeledCost:
+        row = self._rows.get(nbytes)
+        if row is None:
+            row = self._build_row(nbytes)
+        submit_ns, pre_ns, post_ns, ratios, engines = row
+        if ratio <= ratios[0]:
+            engine = engines[0]
+        elif ratio >= ratios[-1]:
+            engine = engines[-1]
+        else:
+            engine = engines[-1]
+            for index in range(len(ratios) - 1):
+                low = ratios[index]
+                high = ratios[index + 1]
+                if low <= ratio <= high:
+                    span = high - low
+                    weight = (ratio - low) / span if span > 0 else 0.0
+                    engine = (engines[index] * (1 - weight)
+                              + engines[index + 1] * weight)
+                    break
+        return ModeledCost(submit_ns, pre_ns, max(engine, 1.0), post_ns)
 
 
 def _fit_linear(points: list[tuple[int, float]]) -> tuple[float, float]:

@@ -137,11 +137,19 @@ class CostModelPolicy(DispatchPolicy):
 
     def select(self, request: OffloadRequest,
                devices: Sequence[FleetDevice]) -> FleetDevice | None:
-        candidates = [d for d in devices if d.can_accept()]
-        if not candidates:
-            return None
-        return min(candidates,
-                   key=lambda d: d.estimate_response_ns(request))
+        # Explicit loop, not min(key=...): this runs once per request
+        # and the lambda + candidate list were measurable.  Strict `<`
+        # keeps the first of tied devices, so ties still break by fleet
+        # order deterministically.
+        best: FleetDevice | None = None
+        best_ns = 0.0
+        for device in devices:
+            if device.can_accept():
+                estimate = device.estimate_response_ns(request)
+                if best is None or estimate < best_ns:
+                    best = device
+                    best_ns = estimate
+        return best
 
 
 class DeadlineAware(CostModelPolicy):

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from repro.errors import ServiceError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SloClass:
     """One service-level objective: a priority tier plus a deadline.
 
@@ -72,7 +72,7 @@ def make_slo_class(name: str) -> SloClass:
     return SLO_CLASSES[name]
 
 
-@dataclass
+@dataclass(slots=True)
 class OffloadRequest:
     """One compression offload request flowing through the service."""
 

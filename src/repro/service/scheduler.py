@@ -115,7 +115,7 @@ class ServiceMetrics:
         return stats
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingEntry:
     """One parked request awaiting capacity, with its hooks."""
 
@@ -193,6 +193,10 @@ class SchedulerCore:
         # lazy deletion for shed-first evictions.
         self._heap: list[tuple[int, float, int, _PendingEntry]] = []
         self._pending_count = 0
+        #: Cancelled (lazily deleted) entries still sitting in the
+        #: heap; audited so eviction storms cannot let tombstones
+        #: dominate and degrade every push/pop to O(dead + live).
+        self._cancelled_count = 0
         self._sequence = itertools.count()
 
     # -- fleet state -----------------------------------------------------------
@@ -213,10 +217,15 @@ class SchedulerCore:
         raises utilization and the admission controller reacts without
         being told about the reconfiguration.
         """
-        capacity = sum(d.queue_limit for d in self.online_devices())
+        capacity = 0
+        inflight = 0
+        for device in self.devices:
+            if device.is_online:
+                capacity += device.queue_limit
+            inflight += device.inflight
         if capacity <= 0:
             return 1.0
-        return sum(d.inflight for d in self.devices) / capacity
+        return inflight / capacity
 
     # -- submission ------------------------------------------------------------
 
@@ -360,6 +369,7 @@ class SchedulerCore:
             entry = self._heap[0][3]
             if entry.cancelled:
                 heapq.heappop(self._heap)
+                self._cancelled_count -= 1
                 continue
             return entry
         return None
@@ -368,10 +378,27 @@ class SchedulerCore:
         while self._heap:
             entry = heapq.heappop(self._heap)[3]
             if entry.cancelled:
+                self._cancelled_count -= 1
                 continue
             self._pending_count -= 1
             return entry
         return None
+
+    def _compact_pending(self) -> None:
+        """Rebuild the heap without tombstones once they dominate.
+
+        Lazy deletion leaves cancelled entries in place; a sustained
+        eviction storm (every overloaded arrival shedding a parked
+        victim) would otherwise grow the heap without bound while the
+        live pending count stays flat.  Rebuilding is O(live) and the
+        trigger guarantees amortized O(1) per cancellation.
+        """
+        if (self._cancelled_count > 32
+                and self._cancelled_count * 2 > len(self._heap)):
+            self._heap = [item for item in self._heap
+                          if not item[3].cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_count = 0
 
     def _evict_below(self, tier: int) -> bool:
         """Shed the worst pending entry from a tier strictly below.
@@ -392,6 +419,8 @@ class SchedulerCore:
             return False
         victim.cancelled = True
         self._pending_count -= 1
+        self._cancelled_count += 1
+        self._compact_pending()
         self._shed(victim.request, victim.on_drop)
         return True
 

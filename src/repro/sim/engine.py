@@ -7,6 +7,24 @@ virtual time in nanoseconds.  Device service times are computed by the
 cycle models in :mod:`repro.hw`, so microbenchmark and system-level
 results share one timing source.
 
+The kernel is the hottest code in the repository — every simulated
+request crosses it dozens of times — so the implementation trades a
+little uniformity for allocation-free fast paths:
+
+* the event queue holds ``(when, seq, item)`` entries where ``item``
+  is either an :class:`Event` to fire or a bare callable to invoke, so
+  bookkeeping callbacks (process bootstrap, batch timers, late-waiter
+  relays) schedule without constructing an ``Event`` each;
+* ``Event._callbacks`` stores ``None`` / a single callable / a list,
+  in that order of escalation — almost every event has exactly one
+  waiter, so the common case allocates nothing;
+* :meth:`Simulator.run` hoists its lookups and fires all entries that
+  share a timestamp in one inner loop.
+
+Determinism is unchanged: entries fire in ``(when, seq)`` order and
+``seq`` is a single monotone counter, so two runs of the same seeded
+workload interleave identically.
+
 Example
 -------
 >>> sim = Simulator()
@@ -22,8 +40,9 @@ Example
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable
 
 from repro.errors import SimulationError
@@ -36,7 +55,9 @@ class Event:
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
-        self._callbacks: list[Callable[[Event], None]] = []
+        # None -> no waiter yet; a callable -> exactly one waiter (the
+        # overwhelmingly common case); a list -> several waiters.
+        self._callbacks: Any = None
         self.triggered = False
         self.fired = False
         self.value: Any = None
@@ -47,25 +68,39 @@ class Event:
             raise SimulationError("event already triggered")
         self.triggered = True
         self.value = value
-        self.sim._schedule_event(self)
+        sim = self.sim
+        heappush(sim._queue, (sim._now, next(sim._sequence), self))
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Register ``callback``; late registration still runs it."""
         if self.fired:
-            # Waiting on an already-completed event resumes immediately
-            # (e.g. joining a process that finished earlier).
-            relay = Event(self.sim)
-            relay.add_callback(lambda _: callback(self))
-            relay.succeed(self.value)
+            # Waiting on an already-completed event resumes on the next
+            # simulation step at the current time (e.g. joining a
+            # process that finished earlier).
+            sim = self.sim
+            heappush(sim._queue, (sim._now, next(sim._sequence),
+                                  lambda: callback(self)))
+            return
+        callbacks = self._callbacks
+        if callbacks is None:
+            self._callbacks = callback
+        elif type(callbacks) is list:
+            callbacks.append(callback)
         else:
-            self._callbacks.append(callback)
+            self._callbacks = [callbacks, callback]
 
     def _fire(self) -> None:
         self.fired = True
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self._callbacks
+        if callbacks is None:
+            return
+        self._callbacks = None
+        if type(callbacks) is list:
+            for callback in callbacks:
+                callback(self)
+        else:
+            callbacks(self)
 
 
 class Process(Event):
@@ -77,14 +112,20 @@ class Process(Event):
                  generator: Generator[Event, Any, Any]) -> None:
         super().__init__(sim)
         self._generator = generator
-        # Kick off on the next simulation step at the current time.
-        start = Event(sim)
-        start.add_callback(self._resume)
-        start.succeed()
+        # Kick off on the next simulation step at the current time; the
+        # bootstrap is a bare callable, so spawning a process costs no
+        # extra Event.
+        heappush(sim._queue, (sim._now, next(sim._sequence), self._start))
+
+    def _start(self) -> None:
+        self._step(None)
 
     def _resume(self, event: Event) -> None:
+        self._step(event.value)
+
+    def _step(self, value: Any) -> None:
         try:
-            target = self._generator.send(event.value)
+            target = self._generator.send(value)
         except StopIteration as stop:
             if not self.triggered:
                 self.succeed(stop.value)
@@ -93,7 +134,18 @@ class Process(Event):
             raise SimulationError(
                 f"process yielded {type(target).__name__}, expected Event"
             )
-        target.add_callback(self._resume)
+        if target.fired:
+            target.add_callback(self._resume)
+        else:
+            # Inlined add_callback fast path: one attribute test per
+            # yield instead of a method call.
+            callbacks = target._callbacks
+            if callbacks is None:
+                target._callbacks = self._resume
+            elif type(callbacks) is list:
+                callbacks.append(self._resume)
+            else:
+                target._callbacks = [callbacks, self._resume]
 
 
 class Simulator:
@@ -101,7 +153,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: list[tuple[float, int, Event]] = []
+        self._queue: list[tuple[float, int, Any]] = []
         self._sequence = itertools.count()
 
     @property
@@ -116,9 +168,23 @@ class Simulator:
         event = Event(self)
         event.triggered = True  # scheduled, cannot be re-succeeded
         event.value = value
-        heapq.heappush(self._queue, (self._now + delay,
-                                     next(self._sequence), event))
+        heappush(self._queue, (self._now + delay, next(self._sequence),
+                               event))
         return event
+
+    def call_later(self, delay: float,
+                   callback: Callable[[], None]) -> None:
+        """Run a bare ``callback`` ``delay`` ns in the future.
+
+        The allocation-free sibling of :meth:`timeout` for callers that
+        do not need an :class:`Event` to wait on (batch flush timers,
+        deferred bookkeeping): the callable goes straight onto the
+        queue and is invoked with no arguments when its time comes.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        heappush(self._queue, (self._now + delay, next(self._sequence),
+                               callback))
 
     def event(self) -> Event:
         """Untriggered event for manual signalling."""
@@ -129,20 +195,33 @@ class Simulator:
         return Process(self, generator)
 
     def _schedule_event(self, event: Event) -> None:
-        heapq.heappush(self._queue, (self._now, next(self._sequence), event))
+        heappush(self._queue, (self._now, next(self._sequence), event))
 
     def run(self, until: float | None = None) -> None:
-        """Run until the queue drains or virtual time passes ``until``."""
-        while self._queue:
-            when, _, event = self._queue[0]
+        """Run until the queue drains or virtual time passes ``until``.
+
+        Entries fire strictly in ``(when, seq)`` order; all entries
+        sharing a timestamp are drained in one inner loop (new entries
+        scheduled *at* the current instant join the same batch).
+        """
+        queue = self._queue
+        while queue:
+            when = queue[0][0]
             if until is not None and when > until:
                 self._now = until
                 return
-            heapq.heappop(self._queue)
             if when < self._now - 1e-9:
                 raise SimulationError("event scheduled in the past")
             self._now = when
-            event._fire()
+            while queue and queue[0][0] == when:
+                item = heappop(queue)[2]
+                cls = item.__class__
+                if cls is Event or cls is Process:
+                    item._fire()
+                elif isinstance(item, Event):
+                    item._fire()
+                else:
+                    item()
         if until is not None:
             self._now = max(self._now, until)
 
@@ -179,7 +258,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.in_use = 0
-        self._waiting: list[Event] = []
+        self._waiting: deque[Event] = deque()
         self.total_acquisitions = 0
         self.peak_in_use = 0
 
@@ -200,7 +279,7 @@ class Resource:
         if self.in_use <= 0:
             raise SimulationError("release without acquire")
         if self._waiting:
-            waiter = self._waiting.pop(0)
+            waiter = self._waiting.popleft()
             self.total_acquisitions += 1
             waiter.succeed()
         else:
@@ -216,19 +295,19 @@ class Store:
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
-        self._items: list[Any] = []
-        self._getters: list[Event] = []
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
 
     def put(self, item: Any) -> None:
         if self._getters:
-            self._getters.pop(0).succeed(item)
+            self._getters.popleft().succeed(item)
         else:
             self._items.append(item)
 
     def get(self) -> Event:
         event = Event(self.sim)
         if self._items:
-            event.succeed(self._items.pop(0))
+            event.succeed(self._items.popleft())
         else:
             self._getters.append(event)
         return event

@@ -15,6 +15,7 @@ the CV gap in Figure 20 *emerges* from the scheduling discipline.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Generator
 
@@ -22,7 +23,7 @@ from repro.errors import SimulationError
 from repro.sim.engine import Event, Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class VfRequest:
     """One tenant request passing through the device."""
 
@@ -79,9 +80,9 @@ class FcfsArbiter(_ArbiterBase):
 
     def __init__(self, sim: Simulator, engine_slots: int,
                  queue_ceiling: int) -> None:
-        self._queue: list[VfRequest] = []
+        self._queue: deque[VfRequest] = deque()
         self._ceiling = queue_ceiling
-        self._blocked: list[tuple[VfRequest, Event]] = []
+        self._blocked: deque[tuple[VfRequest, Event]] = deque()
         super().__init__(sim, engine_slots)
 
     def submit(self, request: VfRequest) -> Event:
@@ -99,9 +100,9 @@ class FcfsArbiter(_ArbiterBase):
     def _pop_next(self) -> VfRequest | None:
         if not self._queue:
             return None
-        request = self._queue.pop(0)
+        request = self._queue.popleft()
         while self._blocked and len(self._queue) < self._ceiling:
-            pending, gate = self._blocked.pop(0)
+            pending, gate = self._blocked.popleft()
             self._queue.append(pending)
             gate.succeed()
         return request
@@ -115,7 +116,8 @@ class FairArbiter(_ArbiterBase):
 
     def __init__(self, sim: Simulator, engine_slots: int,
                  vf_count: int) -> None:
-        self._queues: list[list[VfRequest]] = [[] for _ in range(vf_count)]
+        self._queues: list[deque[VfRequest]] = [deque()
+                                                for _ in range(vf_count)]
         self._cursor = 0
         super().__init__(sim, engine_slots)
 
@@ -131,7 +133,7 @@ class FairArbiter(_ArbiterBase):
             index = (self._cursor + step) % vf_count
             if self._queues[index]:
                 self._cursor = (index + 1) % vf_count
-                return self._queues[index].pop(0)
+                return self._queues[index].popleft()
         return None
 
     def _has_pending(self) -> bool:

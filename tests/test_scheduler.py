@@ -181,6 +181,30 @@ class TestPendingQueue:
         assert service.metrics.slo["best-effort"].shed == 1
         assert service.metrics.slo["interactive"].shed == 0
 
+    def test_eviction_storm_compacts_tombstones(self):
+        # Lazy deletion leaves cancelled entries in the EDF heap; a
+        # sustained eviction storm must trigger the compaction audit so
+        # tombstones never dominate the heap.
+        sim = Simulator()
+        service, _ = one_device_service(sim, pending_limit=40)
+        assert service.submit(request(slo=BEST_EFFORT)) == "admitted"
+        for _ in range(40):
+            assert service.submit(request(slo=BEST_EFFORT)) == "queued"
+        core = service.scheduler
+        assert len(core._heap) == 40
+        # Every interactive arrival evicts one parked best-effort entry
+        # and parks itself; 40 evictions cross the compaction trigger.
+        for _ in range(40):
+            assert service.submit(request(slo=INTERACTIVE)) == "queued"
+        assert core.pending == 40
+        assert core._cancelled_count == 0
+        assert len(core._heap) == 40
+        assert all(not item[3].cancelled for item in core._heap)
+        assert service.metrics.shed == 40
+        sim.run()
+        # Dispatch after compaction still drains every live entry.
+        assert service.metrics.completed == 41
+
     def test_equal_tier_cannot_evict(self):
         sim = Simulator()
         service, _ = one_device_service(sim, pending_limit=1)

@@ -114,6 +114,74 @@ class TestSimulator:
         with pytest.raises(SimulationError):
             event.succeed()
 
+    def test_callables_and_events_share_fifo_order(self):
+        # The queue mixes Events and bare callables; both must fire in
+        # scheduling order at a shared timestamp.
+        sim = Simulator()
+        log = []
+
+        def proc(sim):
+            yield sim.timeout(5)  # scheduled at t=0, after both timers
+            log.append("proc")
+
+        sim.call_later(5, lambda: log.append("first"))
+        sim.spawn(proc(sim))
+        sim.call_later(5, lambda: log.append("second"))
+        sim.run()
+        assert log == ["first", "second", "proc"]
+
+    def test_call_later_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().call_later(-1, lambda: None)
+
+    def test_late_add_callback_on_fired_event_runs(self):
+        # Registering on an already-fired event must still run the
+        # callback (at the current time), with the event's value.
+        sim = Simulator()
+        log = []
+        event = sim.timeout(3, value="payload")
+
+        def proc(sim):
+            yield sim.timeout(10)
+            event.add_callback(lambda e: log.append((sim.now, e.value)))
+            yield sim.timeout(1)
+
+        sim.spawn(proc(sim))
+        sim.run()
+        assert log == [(10.0, "payload")]
+
+    def test_event_fans_out_to_many_waiters_in_order(self):
+        # _callbacks escalates None -> single callable -> list; three
+        # waiters cover every branch and must resume in wait order.
+        sim = Simulator()
+        log = []
+        gate = sim.event()
+
+        def waiter(sim, name):
+            value = yield gate
+            log.append((name, value))
+
+        for name in ("a", "b", "c"):
+            sim.spawn(waiter(sim, name))
+
+        def trigger(sim):
+            yield sim.timeout(4)
+            gate.succeed("go")
+
+        sim.spawn(trigger(sim))
+        sim.run()
+        assert log == [("a", "go"), ("b", "go"), ("c", "go")]
+
+    def test_run_until_then_resume_preserves_order(self):
+        sim = Simulator()
+        log = []
+        for delay, name in ((2, "early"), (8, "late")):
+            sim.call_later(delay, lambda name=name: log.append(name))
+        sim.run(until=5)
+        assert log == ["early"] and sim.now == 5
+        sim.run()
+        assert log == ["early", "late"] and sim.now == 8.0
+
 
 class TestResource:
     def test_capacity_enforced(self):
@@ -288,6 +356,71 @@ class TestStats:
         assert len(values) == 10
         assert all(v == pytest.approx(100.0) for v in values)
         assert series.cv_percent() == pytest.approx(0.0)
+
+
+class TestVectorizedStats:
+    """The numpy paths must be *bit-identical* to pure python, not
+    merely approximately equal — summaries feed the golden-run rows."""
+
+    def _require_numpy(self):
+        from repro.sim import stats as stats_module
+        if stats_module._np is None:
+            pytest.skip("numpy unavailable; only the pure path exists")
+        return stats_module
+
+    def test_large_summary_matches_pure_python_exactly(self, monkeypatch):
+        import random
+
+        stats_module = self._require_numpy()
+        rng = random.Random(11)
+        recorder = LatencyRecorder()
+        for _ in range(stats_module.VECTORIZE_MIN + 500):
+            recorder.record(rng.uniform(0.0, 1e7))
+        vectorized = recorder.summary_us()
+        monkeypatch.setattr(stats_module, "_np", None)
+        pure = recorder.summary_us()
+        assert vectorized == pure  # exact equality, not approx
+
+    def test_large_percentile_matches_pure_python_exactly(self,
+                                                          monkeypatch):
+        import random
+
+        stats_module = self._require_numpy()
+        rng = random.Random(12)
+        samples = [rng.uniform(0.0, 1e9)
+                   for _ in range(stats_module.VECTORIZE_MIN + 7)]
+        fractions = [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0]
+        vectorized = [percentile(samples, f) for f in fractions]
+        monkeypatch.setattr(stats_module, "_np", None)
+        assert vectorized == [percentile(samples, f) for f in fractions]
+
+    def test_long_timeseries_matches_pure_python_exactly(self,
+                                                         monkeypatch):
+        import random
+
+        stats_module = self._require_numpy()
+        rng = random.Random(13)
+        series = TimeSeries(interval_ns=1e6)
+        for _ in range(2000):
+            series.record(rng.uniform(0.0,
+                                      stats_module.VECTORIZE_MIN * 1e6),
+                          rng.randrange(1, 1 << 20))
+        # Force a span past the vectorization threshold (sparse bins
+        # read as zero either way).
+        series.record((stats_module.VECTORIZE_MIN + 3) * 1e6, 4096)
+        vectorized = series.series_mbps()
+        assert len(vectorized) >= stats_module.VECTORIZE_MIN
+        monkeypatch.setattr(stats_module, "_np", None)
+        assert vectorized == series.series_mbps()
+
+    def test_small_runs_stay_pure_python(self):
+        # Below the threshold the numpy path must not even be taken;
+        # sorted() output is the reference the goldens were cut from.
+        recorder = LatencyRecorder()
+        for value in (3000.0, 1000.0, 2000.0):
+            recorder.record(value)
+        summary = recorder.summary_us()
+        assert summary["p50_us"] == 2.0
 
 
 @given(st.lists(st.floats(0.1, 1e6), min_size=1, max_size=200),
