@@ -179,7 +179,13 @@ def check(document: dict, entry: dict | None = None,
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Measure, record and gate the telemetry benchmark "
-                    "trajectory (BENCH_telemetry.json).")
+                    "trajectory (BENCH_telemetry.json).",
+        epilog="Correctness tooling: 'repro-lint src/' (python -m "
+               "repro.analyzers) statically checks determinism and "
+               "hot-path contracts; REPRO_SANITIZE=1 (or "
+               "Cluster.from_spec(..., sanitize=True)) reruns any "
+               "simulation under the runtime sanitizer with identical "
+               "results.")
     parser.add_argument("command", choices=("measure", "append", "check",
                                             "gate"))
     parser.add_argument("--path", type=Path, default=DEFAULT_PATH,

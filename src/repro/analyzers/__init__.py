@@ -1,0 +1,40 @@
+"""Static analysis and runtime sanitization for the repro codebase.
+
+Two complementary tools guard the determinism and hot-path contracts:
+
+* :mod:`repro.analyzers.lint` — ``repro-lint``, an AST-based lint
+  (``python -m repro.analyzers src/``) whose rules live in
+  :mod:`repro.analyzers.rules`;
+* :mod:`repro.analyzers.runtime` — :class:`SanitizedSimulator`, a
+  drop-in :class:`~repro.sim.engine.Simulator` that validates engine
+  invariants while preserving byte-identical results.
+"""
+
+from repro.analyzers.lint import (
+    DEFAULT_CONFIG,
+    Finding,
+    LintConfig,
+    lint_paths,
+    lint_source,
+    main,
+    render_json,
+    render_text,
+)
+from repro.analyzers.rules import RULES, RawFinding, Rule
+from repro.analyzers.runtime import SanitizedSimulator, sanitize_from_env
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "RULES",
+    "RawFinding",
+    "Rule",
+    "SanitizedSimulator",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "render_json",
+    "render_text",
+    "sanitize_from_env",
+]

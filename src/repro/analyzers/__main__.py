@@ -1,0 +1,7 @@
+"""``python -m repro.analyzers`` — run the ``repro-lint`` CLI."""
+
+import sys
+
+from repro.analyzers.lint import main
+
+sys.exit(main())

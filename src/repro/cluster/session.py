@@ -194,9 +194,24 @@ class Cluster:
     # -- construction ----------------------------------------------------------
 
     @classmethod
-    def from_spec(cls, spec: ClusterSpec) -> "Cluster":
-        """Assemble simulator + fleet + scheduler (+ store) from a spec."""
-        sim = Simulator()
+    def from_spec(cls, spec: ClusterSpec,
+                  *, sanitize: bool | None = None) -> "Cluster":
+        """Assemble simulator + fleet + scheduler (+ store) from a spec.
+
+        ``sanitize=True`` builds the cluster on a
+        :class:`~repro.analyzers.runtime.SanitizedSimulator`, which
+        validates engine invariants while keeping results
+        byte-identical; ``None`` (default) defers to the
+        ``REPRO_SANITIZE`` environment variable.
+        """
+        if sanitize is None:
+            from repro.analyzers.runtime import sanitize_from_env
+            sanitize = sanitize_from_env()
+        if sanitize:
+            from repro.analyzers.runtime import SanitizedSimulator
+            sim: Simulator = SanitizedSimulator()
+        else:
+            sim = Simulator()
         fleet_spec = spec.fleet
         entries = []
         for device_spec in fleet_spec.devices:
@@ -444,6 +459,11 @@ class Cluster:
             if profiler is not None:
                 profiler.pop()
                 profiler.end()
+        # Sanitized runs audit waiter queues once the drain settles; a
+        # plain Simulator has no finish() and skips this entirely.
+        finish = getattr(self.sim, "finish", None)
+        if finish is not None:
+            finish()
         telemetry_report = None
         if self.telemetry.enabled:
             telemetry_report = self.telemetry.report()

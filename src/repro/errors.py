@@ -35,6 +35,19 @@ class SimulationError(ReproError):
     """Raised on discrete-event simulation misuse (e.g. time travel)."""
 
 
+class SanitizerError(SimulationError):
+    """Raised by the runtime simulation sanitizer
+    (:mod:`repro.analyzers.runtime`) when an engine invariant breaks:
+    time moving backwards, malformed heap entries, an event firing
+    twice, callbacks registered after an event fired, or waiter queues
+    left populated at run end."""
+
+
+class AnalyzerError(ReproError):
+    """Raised on static-analyzer misuse (unknown rule codes, unreadable
+    lint targets)."""
+
+
 class WorkloadError(ReproError):
     """Raised when a workload generator receives invalid parameters."""
 

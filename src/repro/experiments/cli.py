@@ -47,6 +47,15 @@ from repro.experiments import REGISTRY, run_experiment
 
 SUBCOMMANDS = ("cluster", "report", "sweep", "service", "store", "slo")
 
+#: Shared ``--help`` epilog: where the correctness tooling lives.
+CORRECTNESS_EPILOG = (
+    "Correctness tooling: 'repro-lint src/' (or 'python -m "
+    "repro.analyzers src/') runs the determinism & hot-path static "
+    "analysis; --sanitize (on cluster/report) or REPRO_SANITIZE=1 (any "
+    "subcommand) reruns the simulation under the runtime sanitizer, "
+    "which validates engine invariants without changing results."
+)
+
 
 def _run_options(duration_ms: float, seed: int,
                  tenants: int = 4) -> argparse.ArgumentParser:
@@ -195,6 +204,7 @@ def cluster_main(argv: list[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro-experiment cluster",
+        epilog=CORRECTNESS_EPILOG,
         parents=[_run_options(duration_ms=2.0, seed=1234),
                  _traffic_options(), _telemetry_options()],
         description="Serve one run over a declarative cluster spec: "
@@ -212,6 +222,9 @@ def cluster_main(argv: list[str]) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="attribute host wall-clock to subsystems "
                              "and print the profile after the run")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run on the sanitized simulator (engine "
+                             "invariant checks; results are identical)")
     args = parser.parse_args(argv)
     if args.example_spec:
         print(default_cluster_spec(store=args.with_store).to_json())
@@ -227,7 +240,8 @@ def cluster_main(argv: list[str]) -> int:
             spec = ClusterSpec.from_json(handle.read())
         spec = _telemetry_override(spec, bool(args.trace),
                                    args.metrics_interval_ms)
-        cluster = Cluster.from_spec(spec)
+        cluster = Cluster.from_spec(
+            spec, sanitize=True if args.sanitize else None)
         if args.profile:
             cluster.enable_profiling()
         _attach_clients(cluster, spec, args, duration_ns)
@@ -277,6 +291,7 @@ def report_main(argv: list[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro-experiment report",
+        epilog=CORRECTNESS_EPILOG,
         parents=[_run_options(duration_ms=2.0, seed=1234),
                  _traffic_options()],
         description="Run one cluster spec with telemetry forced on and "
@@ -300,6 +315,9 @@ def report_main(argv: list[str]) -> int:
                         help="also export the trace (request spans, "
                              "metric counters, alert instants and — "
                              "with --profile — the host-time track)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run on the sanitized simulator (engine "
+                             "invariant checks; results are identical)")
     args = parser.parse_args(argv)
     if not args.spec:
         print("repro-experiment report: error: --spec cluster.json is "
@@ -313,7 +331,8 @@ def report_main(argv: list[str]) -> int:
         with open(args.spec, encoding="utf-8") as handle:
             spec = ClusterSpec.from_json(handle.read())
         spec = _telemetry_override(spec, True, interval_ms)
-        cluster = Cluster.from_spec(spec)
+        cluster = Cluster.from_spec(
+            spec, sanitize=True if args.sanitize else None)
         if args.profile:
             cluster.enable_profiling()
         _attach_clients(cluster, spec, args, duration_ns)
@@ -342,6 +361,7 @@ def sweep_main(argv: list[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro-experiment sweep",
+        epilog=CORRECTNESS_EPILOG,
         parents=[_sweep_options(), _telemetry_options()],
         description="Expand a declarative SweepSpec document into its "
                     "grid of cluster specs and run every point — "
@@ -431,6 +451,7 @@ def service_main(argv: list[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro-experiment service",
+        epilog=CORRECTNESS_EPILOG,
         parents=[_run_options(duration_ms=2.0, seed=29),
                  _sweep_options()],
         description="Sweep the compression offload service "
@@ -474,6 +495,7 @@ def store_main(argv: list[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro-experiment store",
+        epilog=CORRECTNESS_EPILOG,
         parents=[_run_options(duration_ms=4.0, seed=31),
                  _sweep_options()],
         description="Sweep the compressed block store "
@@ -534,6 +556,7 @@ def slo_main(argv: list[str]) -> int:
 
     parser = argparse.ArgumentParser(
         prog="repro-experiment slo",
+        epilog=CORRECTNESS_EPILOG,
         parents=[_run_options(duration_ms=3.0, seed=11),
                  _sweep_options()],
         description="Sweep SLO-class deadline-miss rates under a "
@@ -602,7 +625,8 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "slo":
         return slo_main(argv[1:])
     parser = argparse.ArgumentParser(
-        description="Reproduce figures/tables from the ASIC-CDPU paper."
+        description="Reproduce figures/tables from the ASIC-CDPU paper.",
+        epilog=CORRECTNESS_EPILOG,
     )
     parser.add_argument("names", nargs="*",
                         help="experiment ids (default: all), or the "

@@ -50,6 +50,9 @@ class Batcher:
     state or cancellation machinery is needed.
     """
 
+    __slots__ = ("sim", "batch_size", "timeout_ns", "_flush_fn",
+                 "_buffer", "_generation")
+
     def __init__(self, sim: Simulator, batch_size: int,
                  timeout_ns: float | None,
                  flush: Callable[[list], None]) -> None:
@@ -115,6 +118,15 @@ class _Submission:
 
 class FleetDevice:
     """One device of the fleet, wrapped for service-level dispatch."""
+
+    # "state" is a property backed by _state (with is_online as its
+    # hot-path mirror), so it must not appear as a slot itself.
+    __slots__ = ("sim", "device", "models", "_engines", "queue_limit",
+                 "arbiter", "_vf_count", "batcher", "_batch_queue",
+                 "cost_tables", "_state", "is_online", "speed_factor",
+                 "inflight", "peak_inflight", "completed",
+                 "batches_submitted", "backlog_ns", "throughput",
+                 "_cost_cache", "telemetry")
 
     def __init__(self, sim: Simulator, device: CdpuDevice,
                  model: DeviceCostModel | dict[str, DeviceCostModel]

@@ -104,7 +104,7 @@ class OffloadRequest:
         return self.arrival_ns + self.slo.deadline_ns
 
 
-@dataclass
+@dataclass(slots=True)
 class OpenLoopStream:
     """Open-loop (arrival-rate driven) request stream specification.
 

@@ -56,7 +56,7 @@ CompletionHook = Callable[[OffloadRequest, FleetDevice, ModeledCost], None]
 DropHook = Callable[[OffloadRequest], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class SloStats:
     """Per-SLO-class outcome counters for one service run."""
 
@@ -80,7 +80,7 @@ class SloStats:
         return (self.missed + self.shed) / self.offered
 
 
-@dataclass
+@dataclass(slots=True)
 class ServiceMetrics:
     """Counters and recorders accumulated over one service run."""
 
@@ -149,7 +149,7 @@ class _CompletionChain:
         self.core.pump()
 
 
-class SchedulerCore:
+class SchedulerCore:  # repro-lint: disable=HOT001 -- Cluster.enable_profiling shadows submit/pump/_record_completion with instance attributes, which __slots__ forbids
     """Owns dispatch, admission and the SLO model for one service.
 
     ``devices`` is the live (mutable) fleet membership list, shared

@@ -151,6 +151,8 @@ class Process(Event):
 class Simulator:
     """Event loop with a nanosecond virtual clock."""
 
+    __slots__ = ("_now", "_queue", "_sequence")
+
     def __init__(self) -> None:
         self._now = 0.0
         self._queue: list[tuple[float, int, Any]] = []
@@ -252,6 +254,9 @@ class Simulator:
 class Resource:
     """FIFO resource with fixed capacity (PCIe queue slots, engines...)."""
 
+    __slots__ = ("sim", "capacity", "in_use", "_waiting",
+                 "total_acquisitions", "peak_in_use")
+
     def __init__(self, sim: Simulator, capacity: int) -> None:
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
@@ -261,6 +266,12 @@ class Resource:
         self._waiting: deque[Event] = deque()
         self.total_acquisitions = 0
         self.peak_in_use = 0
+        # The runtime sanitizer audits waiter queues at run end; a
+        # plain Simulator has no hook, so this costs one getattr at
+        # construction and nothing per event.
+        register = getattr(sim, "_register_waitable", None)
+        if register is not None:
+            register(self)
 
     def acquire(self) -> Event:
         """Event that triggers when a slot is granted."""
@@ -293,10 +304,15 @@ class Resource:
 class Store:
     """Unbounded FIFO queue of items passed between processes."""
 
+    __slots__ = ("sim", "_items", "_getters")
+
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self._items: deque[Any] = deque()
         self._getters: deque[Event] = deque()
+        register = getattr(sim, "_register_waitable", None)
+        if register is not None:
+            register(self)
 
     def put(self, item: Any) -> None:
         if self._getters:

@@ -82,7 +82,7 @@ def coefficient_of_variation(samples: list[float]) -> float:
     return math.sqrt(variance) / avg
 
 
-@dataclass
+@dataclass(slots=True)
 class LatencyRecorder:
     """Collects latency samples (ns) and summarizes them."""
 
@@ -141,7 +141,7 @@ class LatencyRecorder:
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class KeyedLatencyRecorder:
     """Latency samples partitioned by a key, e.g. ``(tenant, placement)``.
 
@@ -203,7 +203,7 @@ class KeyedLatencyRecorder:
         return rows
 
 
-@dataclass
+@dataclass(slots=True)
 class ThroughputTracker:
     """Accumulates (bytes, duration) into GB/s figures."""
 
@@ -222,7 +222,7 @@ class ThroughputTracker:
         return self.total_bytes / elapsed  # bytes/ns == GB/s
 
 
-@dataclass
+@dataclass(slots=True)
 class TimeSeries:
     """Fixed-interval aggregation for throughput-over-time traces.
 

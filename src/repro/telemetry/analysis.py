@@ -75,7 +75,7 @@ def _check_keys(cls: type, data: dict) -> None:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SloObjective:
     """One declarative objective over a telemetry column.
 
@@ -155,7 +155,7 @@ class SloObjective:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BurnWindow:
     """One (long, short) burn-rate window pair.
 
@@ -199,7 +199,7 @@ DEFAULT_BURN_WINDOWS = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Alert:
     """One fired burn-rate monitor, carrying its evidence window."""
 
@@ -399,7 +399,7 @@ def _region_alert(objective: SloObjective, window: BurnWindow,
 # -- health report -------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Finding:
     """One health-scanner observation with its evidence window."""
 
@@ -420,7 +420,7 @@ class Finding:
 _SEVERITY_RANK = {"info": 0, "warn": 1, "fail": 2}
 
 
-@dataclass
+@dataclass(slots=True)
 class HealthReport:
     """One run's health verdict with the evidence that produced it."""
 

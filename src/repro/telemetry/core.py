@@ -30,7 +30,7 @@ from repro.telemetry.trace import (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class TelemetryReport:
     """Pure-data snapshot of one run's telemetry (picklable).
 

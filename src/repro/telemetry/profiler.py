@@ -36,7 +36,7 @@ from repro.telemetry.core import Telemetry
 HOST_SECTION_CAP = 4096
 
 
-@dataclass
+@dataclass(slots=True)
 class WallClockProfile:
     """Pure-data profile summary surfaced on ``RunResult.wall_profile``."""
 
@@ -92,6 +92,10 @@ class WallClockProfiler:
     profiled window (the run), which :meth:`profile` compares the
     attributed totals against.
     """
+
+    __slots__ = ("_clock", "_stack", "self_ns", "calls", "sections",
+                 "section_cap", "sections_dropped", "_origin",
+                 "total_ns")
 
     def __init__(self, clock: Callable[[], int] = time.perf_counter_ns,
                  section_cap: int = HOST_SECTION_CAP) -> None:

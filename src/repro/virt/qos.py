@@ -43,6 +43,10 @@ class _ArbiterBase:
         self.engine_slots = engine_slots
         self._idle_engines = engine_slots
         self._wakeup: Event | None = None
+        # Let the runtime sanitizer audit arbiter queues at run end.
+        register = getattr(sim, "_register_waitable", None)
+        if register is not None:
+            register(self)
         for _ in range(engine_slots):
             sim.spawn(self._engine_loop())
 
