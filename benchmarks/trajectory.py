@@ -21,6 +21,13 @@ owns that file:
 The threshold is deliberately loose (default 0.6): CI machines vary
 widely, and the gate exists to catch "telemetry guards became 2x
 slower", not 5% noise.
+
+Each entry also carries a ``dispatch`` section: the reference sweep
+grid run inline and over two local socket workers
+(``benchmarks/test_bench_federation.py`` pins the same comparison).
+The wall-clock numbers are informational — socket overhead is pure CI
+noise — but ``rows_identical`` is gated: distributed dispatch may only
+ever buy wall-clock, never change results.
 """
 
 from __future__ import annotations
@@ -45,6 +52,10 @@ DEFAULT_THRESHOLD = 0.6
 DEFAULT_REPEATS = 5
 
 VARIANTS = ("disabled", "trace", "trace_and_metrics")
+
+#: Grid size for the dispatch-overhead section, kept in lockstep with
+#: ``benchmarks/test_bench_federation.py``.
+DISPATCH_POINTS = 6
 
 
 def load(path: Path = DEFAULT_PATH) -> dict:
@@ -91,6 +102,44 @@ def _timed_run(spec) -> tuple[float, int]:
     return time.perf_counter() - start, result.service.offered
 
 
+def measure_dispatch() -> dict:
+    """The socket-dispatch overhead section of a trajectory entry.
+
+    Runs the reference sweep grid once inline and once over two local
+    socket workers.  Wall-clock fields are informational;
+    ``rows_identical`` is the part :func:`check` gates on.
+    """
+    from repro.cluster import ClusterSpec, DeviceSpec, FleetSpec
+    from repro.sweep import SweepAxis, SweepRunner, SweepSpec, WorkloadSpec
+
+    spec = SweepSpec(
+        cluster=ClusterSpec(fleet=FleetSpec(devices=(
+            DeviceSpec("cpu", algorithm="snappy", threads=4),))),
+        workload=WorkloadSpec(mode="open-loop", duration_ns=1e5,
+                              offered_gbps=2.0, tenants=2),
+        axes=(SweepAxis.over(
+            "offered_gbps", "workload.offered_gbps",
+            tuple(float(n + 1) for n in range(DISPATCH_POINTS))),),
+        root_seed=13,
+    )
+    SweepRunner(spec).warm_calibration(spec.expand())
+    start = time.perf_counter()
+    inline = SweepRunner(spec).run()
+    inline_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    sockets = SweepRunner(spec, workers=2, distributed=True).run()
+    sockets_wall = time.perf_counter() - start
+    return {
+        "points": DISPATCH_POINTS,
+        "inline_wall_s": round(inline_wall, 4),
+        "sockets_wall_s": round(sockets_wall, 4),
+        "overhead_ms_per_point": round(
+            (sockets_wall - inline_wall) * 1e3 / DISPATCH_POINTS, 3),
+        "rows_identical": (json.dumps(inline.rows())
+                           == json.dumps(sockets.rows())),
+    }
+
+
 def measure_entry(repeats: int = DEFAULT_REPEATS,
                   date: str | None = None) -> dict:
     """One trajectory entry for today's tree (best-of-``repeats``).
@@ -123,6 +172,7 @@ def measure_entry(repeats: int = DEFAULT_REPEATS,
     enabled = entry["trace_and_metrics"]["requests_per_sec"]
     entry["disabled_over_enabled_ratio"] = round(
         enabled / disabled, 3) if disabled else 0.0
+    entry["dispatch"] = measure_dispatch()
     entry["note"] = "measured by benchmarks/trajectory.py"
     return entry
 
@@ -172,6 +222,13 @@ def check(document: dict, entry: dict | None = None,
             f"{rates['disabled']:.1f} req/s is below {threshold:.0%} of "
             f"the best recorded {best_prior:.1f} req/s "
             f"(entry {entry.get('date', '?')})"
+        )
+    # Pre-dispatch entries lack the section; absence is not a failure.
+    dispatch = entry.get("dispatch")
+    if dispatch is not None and not dispatch.get("rows_identical", False):
+        failures.append(
+            "distributed dispatch produced different sweep rows than "
+            "the inline runner; dispatch must never change results"
         )
     return failures
 
@@ -225,6 +282,11 @@ def main(argv: list[str] | None = None) -> int:
               f"(trace {entry['trace']['requests_per_sec']:.1f}, "
               f"trace+metrics "
               f"{entry['trace_and_metrics']['requests_per_sec']:.1f})")
+        dispatch = entry["dispatch"]
+        print(f"gate: socket dispatch adds "
+              f"{dispatch['overhead_ms_per_point']:.3f} ms/point over "
+              f"inline ({dispatch['points']} points, rows identical: "
+              f"{dispatch['rows_identical']})")
     if failures:
         for failure in failures:
             print(f"BENCHMARK REGRESSION: {failure}", file=sys.stderr)

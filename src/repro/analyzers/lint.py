@@ -70,6 +70,8 @@ class LintConfig:
         "service/fleet.py",
         "service/request.py",
         "telemetry/",
+        "federation/router.py",
+        "workloads/population.py",
     )
     #: Files allowed to read the host clock (DET001 skips them).
     wallclock_allowlist: tuple[str, ...] = (
@@ -81,6 +83,8 @@ class LintConfig:
         "cluster/spec.py",
         "sweep/spec.py",
         "telemetry/analysis.py",
+        "federation/spec.py",
+        "workloads/population.py",
     )
     #: Modules whose objects cross the SweepRunner pickle boundary
     #: (PKL001).
@@ -90,6 +94,7 @@ class LintConfig:
         "sweep/",
         "telemetry/core.py",
         "telemetry/analysis.py",
+        "federation/dispatch.py",
     )
     #: Rule codes to run; empty means every registered rule.
     select: tuple[str, ...] = ()

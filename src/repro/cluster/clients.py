@@ -178,6 +178,22 @@ class OpenLoopClient(ClusterClient):
         complete = self._complete
         drop = self._drop
         duration_ns = stream.duration_ns
+        diurnal = getattr(stream, "diurnal", None)
+        if diurnal is not None:
+            # Diurnal pacing (PopulationStream): divide each Poisson gap
+            # by the rate factor at the instant the gap is drawn.  A
+            # separate loop keeps the undecorated hot path byte-for-byte
+            # identical for plain streams (golden sweeps pin it).
+            rate_at = diurnal.rate_at
+            while True:
+                yield timeout(next_gap_ns(rng) / rate_at(sim.now))
+                if sim.now >= duration_ns:
+                    break
+                self.submitted += 1
+                submit(make_request(rng), on_complete=complete,
+                       on_drop=drop)
+            self._done()
+            return
         while True:
             yield timeout(next_gap_ns(rng))
             if sim.now >= duration_ns:

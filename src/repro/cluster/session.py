@@ -195,7 +195,9 @@ class Cluster:
 
     @classmethod
     def from_spec(cls, spec: ClusterSpec,
-                  *, sanitize: bool | None = None) -> "Cluster":
+                  *, sanitize: bool | None = None,
+                  sim: Simulator | None = None,
+                  telemetry: Telemetry | None = None) -> "Cluster":
         """Assemble simulator + fleet + scheduler (+ store) from a spec.
 
         ``sanitize=True`` builds the cluster on a
@@ -203,15 +205,20 @@ class Cluster:
         validates engine invariants while keeping results
         byte-identical; ``None`` (default) defers to the
         ``REPRO_SANITIZE`` environment variable.
+
+        ``sim``/``telemetry`` let a federated session assemble several
+        member clusters on one shared simulator and one (scoped)
+        telemetry sink; standalone callers leave both ``None``.
         """
-        if sanitize is None:
-            from repro.analyzers.runtime import sanitize_from_env
-            sanitize = sanitize_from_env()
-        if sanitize:
-            from repro.analyzers.runtime import SanitizedSimulator
-            sim: Simulator = SanitizedSimulator()
-        else:
-            sim = Simulator()
+        if sim is None:
+            if sanitize is None:
+                from repro.analyzers.runtime import sanitize_from_env
+                sanitize = sanitize_from_env()
+            if sanitize:
+                from repro.analyzers.runtime import SanitizedSimulator
+                sim = SanitizedSimulator()
+            else:
+                sim = Simulator()
         fleet_spec = spec.fleet
         entries = []
         for device_spec in fleet_spec.devices:
@@ -262,7 +269,8 @@ class Cluster:
                 read_slo=store_spec.read_slo.to_class(),
                 write_slo=store_spec.write_slo.to_class(),
             )
-        cluster = cls(sim, service, store=store, spec=spec)
+        cluster = cls(sim, service, store=store, spec=spec,
+                      telemetry=telemetry)
         cluster._arm_reconfiguration(spec)
         return cluster
 

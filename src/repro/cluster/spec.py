@@ -42,16 +42,21 @@ CALIBRATED_OPS = ("compress", "decompress")
 RECONFIG_ACTIONS = ("brown-out", "restore", "unplug", "power-cap")
 
 
-def _check_keys(cls: type, data: dict) -> None:
-    """Reject unknown keys loudly instead of silently dropping them."""
+def _check_keys(cls: type, data: dict,
+                error: type[Exception] = ClusterSpecError) -> None:
+    """Reject unknown keys loudly instead of silently dropping them.
+
+    ``error`` lets other spec layers (federation) reuse the contract
+    while raising their own hierarchy.
+    """
     if not isinstance(data, dict):
-        raise ClusterSpecError(
+        raise error(
             f"{cls.__name__} expects a mapping, got {type(data).__name__}"
         )
     allowed = {f.name for f in fields(cls)}
     unknown = sorted(set(data) - allowed)
     if unknown:
-        raise ClusterSpecError(
+        raise error(
             f"unknown key(s) {unknown} for {cls.__name__}; "
             f"allowed: {sorted(allowed)}"
         )

@@ -101,6 +101,32 @@ class SweepSpecError(SweepError, ValueError):
     """
 
 
+class FederationError(ReproError):
+    """Raised on multi-cluster federation failures: assembling or
+    driving a federated session, or errors on the distributed-dispatch
+    socket protocol (see :class:`DispatchError`)."""
+
+
+class FederationSpecError(FederationError, ValueError):
+    """Raised when a :class:`~repro.federation.FederationSpec` (or a
+    dict/JSON document being deserialized into one) is invalid —
+    unknown keys, duplicate member names, member clusters declaring
+    their own telemetry or store tiers, unknown routing policies.
+
+    Doubles as a :class:`ValueError` for the same reason as
+    :class:`ClusterSpecError`: federation descriptions are user input.
+    """
+
+
+class DispatchError(FederationError):
+    """Raised by the distributed sweep dispatch layer
+    (:mod:`repro.federation.dispatch`): truncated or malformed protocol
+    frames, protocol-version mismatches, workers dying mid-point with
+    the requeue budget exhausted, or every worker dead with grid points
+    still unserved.  Never a bare :class:`EOFError` — a half-received
+    frame is reported with the byte counts."""
+
+
 class StoreError(ReproError):
     """Raised on block-store misuse (unmapped block, oversized write)."""
 

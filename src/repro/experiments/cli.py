@@ -19,9 +19,19 @@ defaults):
   attribution, ``--trace`` exports the annotated trace;
 * ``repro-experiment sweep --spec sweep.json --workers N`` — a whole
   experiment grid from one declarative
-  :class:`~repro.sweep.SweepSpec` document, executed inline or over a
-  process pool (``--example-spec`` runs the built-in smoke grid,
+  :class:`~repro.sweep.SweepSpec` document, executed inline, over a
+  process pool, or — with ``--distributed`` / ``--hosts`` — over a
+  socket-backed worker fleet with byte-identical rows
+  (``--example-spec`` runs the built-in smoke grid,
   ``--print-example-spec`` dumps its JSON);
+* ``repro-experiment federation --spec federation.json`` — one
+  federated serving run over a declarative
+  :class:`~repro.federation.FederationSpec` document: N member
+  clusters on one shared simulator behind a global router
+  (``--example-spec`` prints a 3-cluster, 100k-tenant starting point);
+* ``repro-experiment worker --listen HOST:PORT`` — a sweep worker
+  process that serves grid points to distributed drivers
+  (``repro-experiment sweep --hosts ...``);
 * ``repro-experiment service [options]`` — the compress-offload
   scaling sweep (offered load x fleet mix x dispatch policy);
 * ``repro-experiment store [options]`` — the compressed block-store
@@ -45,7 +55,8 @@ import sys
 from repro.errors import ReproError
 from repro.experiments import REGISTRY, run_experiment
 
-SUBCOMMANDS = ("cluster", "report", "sweep", "service", "store", "slo")
+SUBCOMMANDS = ("cluster", "report", "sweep", "federation", "worker",
+               "service", "store", "slo")
 
 #: Shared ``--help`` epilog: where the correctness tooling lives.
 CORRECTNESS_EPILOG = (
@@ -381,6 +392,17 @@ def sweep_main(argv: list[str]) -> int:
     parser.add_argument("--continue-on-error", action="store_true",
                         help="record failing points and keep sweeping "
                              "instead of failing fast")
+    parser.add_argument("--distributed", action="store_true",
+                        help="fan points out over socket workers "
+                             "(spawns --workers localhost processes "
+                             "unless --hosts lists pre-started ones)")
+    parser.add_argument("--hosts", nargs="+", metavar="HOST:PORT",
+                        help="pre-started 'repro-experiment worker' "
+                             "addresses (implies --distributed)")
+    parser.add_argument("--heartbeat-timeout-s", type=float, default=10.0,
+                        help="seconds of worker silence before the "
+                             "driver declares it dead and requeues "
+                             "its point")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-point progress lines")
     args = parser.parse_args(argv)
@@ -412,14 +434,25 @@ def sweep_main(argv: list[str]) -> int:
         runner = SweepRunner(
             spec, workers=args.workers,
             on_error="continue" if args.continue_on_error else "raise",
-            progress=progress)
+            progress=progress,
+            distributed=args.distributed,
+            hosts=args.hosts,
+            heartbeat_timeout_s=args.heartbeat_timeout_s)
         result = runner.run()
     except (OSError, ReproError) as error:
         print(f"repro-experiment sweep: error: {error}", file=sys.stderr)
         return 2
+    backend = ("sockets" if runner.distributed
+               else ("inline" if args.workers == 0 else "pool"))
     print(f"== sweep: {len(result.points)} points "
           f"(grid {spec.grid_size()}), root seed {spec.root_seed}, "
-          f"workers {args.workers} ==")
+          f"workers {args.workers}, backend {backend} ==")
+    if runner.dispatch_dead_workers:
+        print(f"repro-experiment sweep: warning: "
+              f"{len(runner.dispatch_dead_workers)} worker(s) died "
+              f"({', '.join(runner.dispatch_dead_workers)}); "
+              f"{runner.dispatch_requeues} point(s) requeued",
+              file=sys.stderr)
     print(result.table())
     _write_outputs(result, args)
     if args.trace:
@@ -438,6 +471,140 @@ def sweep_main(argv: list[str]) -> int:
                             for failure in result.failures]),
               file=sys.stderr)
         return 1
+    return 0
+
+
+def federation_main(argv: list[str]) -> int:
+    """The ``federation`` subcommand: one multi-cluster serving run."""
+    from repro.federation import Federation, example_federation_spec
+    from repro.profiling import format_table
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment federation",
+        epilog=CORRECTNESS_EPILOG,
+        description="Serve one federated run over a declarative "
+                    "FederationSpec document: every member cluster on "
+                    "one shared simulator behind a global router "
+                    "(static-pinning / least-loaded / "
+                    "locality-affinity), heavy-tailed tenant "
+                    "population and diurnal load included, with "
+                    "per-cluster and cross-cluster breakdowns.",
+    )
+    parser.add_argument("--spec", metavar="federation.json",
+                        help="path to a FederationSpec JSON document")
+    parser.add_argument("--example-spec", action="store_true",
+                        help="print a sample 3-cluster, 100k-tenant "
+                             "spec JSON and exit")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the spec's root_seed")
+    parser.add_argument("--trace", metavar="trace.json",
+                        help="export the multi-track trace (one "
+                             "'<member>/...' track group per cluster "
+                             "plus the router's hop spans) as Chrome "
+                             "trace-event JSON")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run on the sanitized simulator (engine "
+                             "invariant checks; results are identical)")
+    args = parser.parse_args(argv)
+    if args.example_spec:
+        print(example_federation_spec().to_json())
+        return 0
+    if not args.spec:
+        print("repro-experiment federation: error: --spec "
+              "federation.json is required (or --example-spec for a "
+              "starting point)", file=sys.stderr)
+        return 2
+    try:
+        from repro.federation import FederationSpec
+
+        with open(args.spec, encoding="utf-8") as handle:
+            spec = FederationSpec.from_json(handle.read())
+        if args.seed is not None:
+            spec = dataclasses.replace(spec, root_seed=args.seed)
+        federation = Federation.from_spec(
+            spec, sanitize=True if args.sanitize else None)
+        result = federation.run()
+    except (OSError, ReproError) as error:
+        print(f"repro-experiment federation: error: {error}",
+              file=sys.stderr)
+        return 2
+    run = result.run
+    print(f"== federation: {len(spec.members)} clusters "
+          f"({', '.join(spec.member_names())}), routing={spec.routing}, "
+          f"duration={run.duration_ns / 1e6:g} ms ==")
+    print(format_table([result.row()], floatfmt=".2f"))
+    print("\nPer-cluster view:\n")
+    print(format_table(result.member_rows(), floatfmt=".2f"))
+    print("\nCross-cluster routing:\n")
+    print(format_table(result.router_rows(), floatfmt=".3f"))
+    if run.slo_breakdown:
+        print("\nPer-SLO-class view (worst member's percentiles):\n")
+        print(format_table(run.slo_breakdown, floatfmt=".3f"))
+    if args.trace:
+        report = run.telemetry
+        if report is None:
+            print("repro-experiment federation: warning: --trace "
+                  "ignored — the spec has no telemetry section",
+                  file=sys.stderr)
+        else:
+            run.export_trace(args.trace)
+            print(f"\nwrote {args.trace}: {len(report.events)} trace "
+                  f"events ({report.dropped} dropped) — open in "
+                  f"ui.perfetto.dev")
+    _warn_dropped(run.telemetry, "federation")
+    return 0
+
+
+def worker_main(argv: list[str]) -> int:
+    """The ``worker`` subcommand: serve sweep points to remote drivers."""
+    from repro.federation import serve_worker
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment worker",
+        epilog=CORRECTNESS_EPILOG,
+        description="Run a sweep worker: listens for a distributed "
+                    "driver ('repro-experiment sweep --hosts ...'), "
+                    "executes the grid points it sends, and streams "
+                    "results (and heartbeats) back. One driver at a "
+                    "time; runs until interrupted unless "
+                    "--max-sessions caps it.",
+    )
+    parser.add_argument("--listen", metavar="HOST:PORT",
+                        default="127.0.0.1:0",
+                        help="address to bind (default 127.0.0.1:0 = "
+                             "any free port, printed on startup)")
+    parser.add_argument("--heartbeat-interval-s", type=float, default=1.0,
+                        help="seconds between liveness heartbeats to "
+                             "the connected driver")
+    parser.add_argument("--max-sessions", type=int, default=None,
+                        help="exit after serving this many driver "
+                             "sessions (default: run forever)")
+    args = parser.parse_args(argv)
+    host, _, port_text = args.listen.rpartition(":")
+    if not host or not port_text:
+        print(f"repro-experiment worker: error: --listen must be "
+              f"HOST:PORT, got {args.listen!r}", file=sys.stderr)
+        return 2
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"repro-experiment worker: error: port must be an "
+              f"integer, got {port_text!r}", file=sys.stderr)
+        return 2
+
+    def announce(bound_port: int) -> None:
+        print(f"repro-experiment worker: listening on "
+              f"{host}:{bound_port}", flush=True)
+
+    try:
+        serve_worker(host, port, max_sessions=args.max_sessions,
+                     heartbeat_interval_s=args.heartbeat_interval_s,
+                     ready=announce)
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, ReproError) as error:
+        print(f"repro-experiment worker: error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -618,6 +785,10 @@ def main(argv: list[str] | None = None) -> int:
         return report_main(argv[1:])
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "federation":
+        return federation_main(argv[1:])
+    if argv and argv[0] == "worker":
+        return worker_main(argv[1:])
     if argv and argv[0] == "service":
         return service_main(argv[1:])
     if argv and argv[0] == "store":
@@ -630,8 +801,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("names", nargs="*",
                         help="experiment ids (default: all), or the "
-                             "'cluster'/'report'/'sweep'/'service'/"
-                             "'store'/'slo' subcommands (see e.g. "
+                             "'cluster'/'report'/'sweep'/'federation'/"
+                             "'worker'/'service'/'store'/'slo' "
+                             "subcommands (see e.g. "
                              "'repro-experiment sweep --help')")
     parser.add_argument("--full", action="store_true",
                         help="paper-scale workloads instead of quick mode")

@@ -1,0 +1,421 @@
+"""Socket-backed distributed sweep dispatch.
+
+A tiny length-prefixed pickle protocol turns
+:class:`~repro.sweep.runner.SweepRunner` into a distributed driver:
+workers (``repro-experiment worker --listen HOST:PORT``, or in-process
+via :func:`spawn_local_workers`) accept fully-resolved
+:class:`~repro.sweep.spec.SweepPoint` documents one at a time and ship
+back ``(index, RunResult, error)`` triples.  Because every point's
+RNGs derive from the spec — never from execution order — the driver
+writes results through ``point.index`` and the sweep table is
+row-for-row byte-identical to the inline runner regardless of worker
+count, join order, or mid-run worker death.
+
+Wire format: every frame is a 4-byte big-endian payload length
+followed by a pickle.  Messages are tuples tagged by their first
+element::
+
+    ("hello", PROTOCOL_VERSION)        worker -> driver, on connect
+    ("task", point)                    driver -> worker
+    ("result", index, run, error)      worker -> driver
+    ("heartbeat",)                     worker -> driver, periodic
+    ("shutdown",)                      driver -> worker, session end
+
+Liveness: workers send heartbeats from a side thread while computing,
+the driver reads with ``heartbeat_timeout_s`` socket timeouts, and a
+silent or dead worker has its in-flight point requeued (at most
+``max_requeues`` times) onto the surviving workers.  A half-received
+frame raises :class:`~repro.errors.DispatchError` naming the byte
+counts — never a bare ``EOFError``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import socket
+import threading
+from collections import deque
+from queue import SimpleQueue
+from typing import Callable, Iterator, Sequence
+
+from repro.errors import DispatchError
+from repro.sweep.runner import _pool_run_point
+from repro.sweep.spec import SweepPoint
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "LocalWorkers",
+    "SocketWorkerPool",
+    "recv_frame",
+    "send_frame",
+    "serve_worker",
+    "spawn_local_workers",
+]
+
+#: Bumped on any wire-format change; driver and worker must agree.
+PROTOCOL_VERSION = 1
+
+_HEADER_BYTES = 4
+
+
+def send_frame(sock: socket.socket, message: tuple) -> None:
+    """Ship one length-prefixed pickled message."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(len(payload).to_bytes(_HEADER_BYTES, "big") + payload)
+
+
+def _recv_exact(sock: socket.socket, nbytes: int,
+                context: str) -> bytes:
+    chunks = bytearray()
+    while len(chunks) < nbytes:
+        chunk = sock.recv(nbytes - len(chunks))
+        if not chunk:
+            raise DispatchError(
+                f"connection closed mid-{context}: received "
+                f"{len(chunks)} of {nbytes} bytes"
+            )
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple:
+    """Read one frame; truncation raises :class:`DispatchError`."""
+    header = _recv_exact(sock, _HEADER_BYTES, "header")
+    length = int.from_bytes(header, "big")
+    payload = _recv_exact(sock, length, "frame")
+    try:
+        message = pickle.loads(payload)
+    except Exception as error:  # pickle raises a small zoo here
+        raise DispatchError(
+            f"malformed frame payload ({length} bytes): {error}"
+        ) from error
+    if not isinstance(message, tuple) or not message:
+        raise DispatchError(
+            f"frame is not a tagged tuple: {type(message).__name__}"
+        )
+    return message
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _serve_session(conn: socket.socket,
+                   heartbeat_interval_s: float) -> int:
+    """Serve one driver connection; returns points executed."""
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def heartbeats() -> None:
+        while not stop.wait(heartbeat_interval_s):
+            try:
+                with send_lock:
+                    send_frame(conn, ("heartbeat",))
+            except OSError:
+                return
+
+    with send_lock:
+        send_frame(conn, ("hello", PROTOCOL_VERSION))
+    pulse = threading.Thread(target=heartbeats, daemon=True)
+    pulse.start()
+    executed = 0
+    try:
+        while True:
+            try:
+                message = recv_frame(conn)
+            except (DispatchError, OSError):
+                return executed  # driver vanished; session over
+            if message[0] == "shutdown":
+                return executed
+            if message[0] != "task":
+                raise DispatchError(
+                    f"worker expected a task, got {message[0]!r}"
+                )
+            index, run, error = _pool_run_point(message[1])
+            executed += 1
+            with send_lock:
+                send_frame(conn, ("result", index, run, error))
+    finally:
+        stop.set()
+        pulse.join()
+        conn.close()
+
+
+def serve_worker(host: str = "127.0.0.1", port: int = 0, *,
+                 max_sessions: int | None = None,
+                 heartbeat_interval_s: float = 1.0,
+                 ready: Callable[[int], None] | None = None) -> int:
+    """Run a sweep worker: listen, serve driver sessions, one at a time.
+
+    ``port=0`` binds an ephemeral port; ``ready`` (if given) receives
+    the bound port once the listener is up — the hook
+    :func:`spawn_local_workers` uses to report the port to the parent.
+    ``max_sessions`` bounds how many driver connections are served
+    (``None`` serves forever — the ``repro-experiment worker`` shape).
+    Returns the bound port.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((host, port))
+    listener.listen()
+    bound = listener.getsockname()[1]
+    if ready is not None:
+        ready(bound)
+    sessions = 0
+    try:
+        while max_sessions is None or sessions < max_sessions:
+            conn, _ = listener.accept()
+            sessions += 1
+            _serve_session(conn, heartbeat_interval_s)
+    finally:
+        listener.close()
+    return bound
+
+
+def _local_worker_main(ready_conn, heartbeat_interval_s: float) -> None:
+    serve_worker("127.0.0.1", 0, max_sessions=1,
+                 heartbeat_interval_s=heartbeat_interval_s,
+                 ready=ready_conn.send)
+
+
+class LocalWorkers:
+    """A fleet of in-process-spawned worker processes (context-managed)."""
+
+    def __init__(self, processes: list, hosts: list) -> None:
+        self.processes = processes
+        self.hosts = hosts
+
+    def close(self) -> None:
+        for process in self.processes:
+            process.join(timeout=10)
+            if process.is_alive():
+                process.terminate()
+                process.join()
+
+    def __enter__(self) -> "LocalWorkers":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def spawn_local_workers(count: int, *,
+                        heartbeat_interval_s: float = 1.0
+                        ) -> LocalWorkers:
+    """Spawn ``count`` localhost worker processes on ephemeral ports.
+
+    Forks where the platform offers it, so workers inherit the
+    driver's pre-warmed calibration cache (the runner warms before
+    spawning); each worker serves exactly one driver session and
+    exits.
+    """
+    if count < 1:
+        raise DispatchError(
+            f"need at least one local worker, got {count}"
+        )
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:
+        context = multiprocessing.get_context()
+    processes, hosts = [], []
+    for _ in range(count):
+        parent, child = context.Pipe()
+        process = context.Process(
+            target=_local_worker_main,
+            args=(child, heartbeat_interval_s), daemon=True)
+        process.start()
+        child.close()
+        port = parent.recv()
+        parent.close()
+        processes.append(process)
+        hosts.append(("127.0.0.1", port))
+    return LocalWorkers(processes, hosts)
+
+
+# -- driver side ---------------------------------------------------------------
+
+
+def _parse_address(host) -> tuple[str, int]:
+    if isinstance(host, (tuple, list)) and len(host) == 2:
+        return str(host[0]), int(host[1])
+    if isinstance(host, str) and ":" in host:
+        name, _, port = host.rpartition(":")
+        try:
+            return name, int(port)
+        except ValueError as error:
+            raise DispatchError(
+                f"bad worker address {host!r}: port is not an integer"
+            ) from error
+    raise DispatchError(
+        f"bad worker address {host!r}; expected 'host:port' or "
+        f"(host, port)"
+    )
+
+
+class SocketWorkerPool:
+    """Drives sweep points over remote workers, surviving worker death.
+
+    One driver thread per worker feeds it points and collects results;
+    any worker failure (connection refused/reset, truncated frame,
+    heartbeat silence past ``heartbeat_timeout_s``) marks that worker
+    dead and requeues its in-flight point — at most ``max_requeues``
+    times per point, after which the point is reported failed.  When
+    every worker is dead with points still unserved, the remaining
+    points fail out loudly instead of hanging the driver.
+    """
+
+    def __init__(self, hosts: Sequence, *,
+                 heartbeat_timeout_s: float = 10.0,
+                 connect_timeout_s: float = 10.0,
+                 max_requeues: int = 1) -> None:
+        if not hosts:
+            raise DispatchError("worker pool needs at least one host")
+        if max_requeues < 0:
+            raise DispatchError(
+                f"max_requeues must be >= 0, got {max_requeues}"
+            )
+        self.addresses = [_parse_address(host) for host in hosts]
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.connect_timeout_s = connect_timeout_s
+        self.max_requeues = max_requeues
+        #: Total points requeued off dead workers (for tests/reports).
+        self.requeues = 0
+        #: ``host:port`` labels of workers that died mid-run.
+        self.dead_workers: list[str] = []
+        self._lock = threading.Lock()
+        #: Guards the task deque AND signals idle drivers when a dead
+        #: worker's point is requeued or the last result lands — an
+        #: idle driver must not retire while another worker still holds
+        #: an in-flight point, or that point's requeue finds nobody.
+        self._cond = threading.Condition(self._lock)
+        self._attempts: dict[int, int] = {}
+        self._outstanding = 0
+        self._live = 0
+
+    def imap(self, points: Sequence[SweepPoint]
+             ) -> Iterator[tuple[int, object, str | None]]:
+        """Yield ``(index, run, error)`` as workers finish points.
+
+        Exactly ``len(points)`` triples are yielded; completion order
+        is arbitrary (the caller writes through ``index``).
+        """
+        tasks: deque[SweepPoint] = deque(points)
+        results: SimpleQueue = SimpleQueue()
+        self._attempts = {point.index: 0 for point in points}
+        self._outstanding = len(points)
+        self._live = len(self.addresses)
+        threads = [
+            threading.Thread(
+                target=self._drive_worker,
+                args=(address, tasks, results), daemon=True)
+            for address in self.addresses
+        ]
+        for thread in threads:
+            thread.start()
+        for _ in range(len(points)):
+            yield results.get()
+        for thread in threads:
+            thread.join()
+
+    # -- per-worker driver thread ----------------------------------------------
+
+    def _drive_worker(self, address: tuple[str, int],
+                      tasks: deque, results: SimpleQueue) -> None:
+        name = f"{address[0]}:{address[1]}"
+        sock = None
+        current: SweepPoint | None = None
+        try:
+            sock = socket.create_connection(
+                address, timeout=self.connect_timeout_s)
+            sock.settimeout(self.heartbeat_timeout_s)
+            hello = recv_frame(sock)
+            if hello[0] != "hello":
+                raise DispatchError(
+                    f"worker {name} greeted with {hello[0]!r}, "
+                    f"expected 'hello'"
+                )
+            if hello[1] != PROTOCOL_VERSION:
+                raise DispatchError(
+                    f"worker {name} speaks protocol {hello[1]}, "
+                    f"driver speaks {PROTOCOL_VERSION}"
+                )
+            while True:
+                with self._cond:
+                    # Idle but other workers hold in-flight points:
+                    # stay alive to pick up a requeue if one dies.
+                    while not tasks and self._outstanding > 0:
+                        self._cond.wait(0.1)
+                    if not tasks:
+                        break
+                    current = tasks.popleft()
+                    self._attempts[current.index] += 1
+                send_frame(sock, ("task", current))
+                while True:
+                    message = recv_frame(sock)
+                    if message[0] == "heartbeat":
+                        continue
+                    if message[0] == "result":
+                        break
+                    raise DispatchError(
+                        f"unexpected frame {message[0]!r} from "
+                        f"worker {name}"
+                    )
+                _, index, run, error = message
+                current = None
+                self._deliver(results, (index, run, error))
+            send_frame(sock, ("shutdown",))
+        except Exception as error:  # noqa: BLE001 - a lost result
+            # frame must never strand the collector, whatever died.
+            self._worker_died(name, current, error, tasks, results)
+        finally:
+            if sock is not None:
+                sock.close()
+            self._retire_thread(tasks, results)
+
+    def _deliver(self, results: SimpleQueue, triple: tuple) -> None:
+        """Hand one result to the collector and wake idle drivers."""
+        results.put(triple)
+        with self._cond:
+            self._outstanding -= 1
+            self._cond.notify_all()
+
+    def _worker_died(self, name: str, current: SweepPoint | None,
+                     error: Exception, tasks: deque,
+                     results: SimpleQueue) -> None:
+        failure = None
+        with self._cond:
+            self.dead_workers.append(name)
+            if current is not None:
+                attempts = self._attempts[current.index]
+                if attempts > self.max_requeues:
+                    failure = (
+                        current.index, None,
+                        f"DispatchError: point {current.index} failed "
+                        f"on worker {name} after {attempts} attempts "
+                        f"({type(error).__name__}: {error})")
+                    self._outstanding -= 1
+                else:
+                    self.requeues += 1
+                    tasks.append(current)
+            self._cond.notify_all()
+        if failure is not None:
+            results.put(failure)
+
+    def _retire_thread(self, tasks: deque,
+                       results: SimpleQueue) -> None:
+        """Last thread out fails any unserved points instead of
+        letting the collector block forever."""
+        with self._cond:
+            self._live -= 1
+            stranded = ()
+            if self._live == 0 and tasks:
+                stranded = tuple(tasks)
+                tasks.clear()
+                self._outstanding -= len(stranded)
+            self._cond.notify_all()
+        for point in stranded:
+            results.put((
+                point.index, None,
+                f"DispatchError: every worker died with point "
+                f"{point.index} (and {len(stranded) - 1} more) "
+                f"unserved"))

@@ -1,0 +1,185 @@
+"""The :class:`Federation` session: one FederationSpec in, one merged
+result out.
+
+``Federation.from_spec(spec)`` assembles every member cluster on ONE
+shared :class:`~repro.sim.engine.Simulator` (each member's telemetry
+scoped onto ``<member>/...`` tracks of the single federation-level
+sink), puts a :class:`~repro.federation.router.GlobalRouter` in front
+of the member schedulers, and drives the federation-wide open-loop
+stream — heavy-tailed population and diurnal modulation included —
+through an ordinary :class:`~repro.cluster.clients.OpenLoopClient`
+pointed at the router.  :meth:`Federation.run` mirrors
+:meth:`~repro.cluster.session.Cluster.run` (measurement horizon,
+gauges + sampler, defensive drain, sanitizer finish hook) and returns
+a :class:`~repro.federation.result.FederationResult` whose merged
+:class:`~repro.cluster.result.RunResult` feeds every existing table,
+export and health path.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.clients import OpenLoopClient
+from repro.cluster.result import RunResult
+from repro.cluster.session import Cluster
+from repro.errors import FederationError, TelemetryError
+from repro.federation.result import FederationResult, merge_service_reports
+from repro.federation.router import GlobalRouter
+from repro.federation.spec import FederationSpec
+from repro.sim.engine import Simulator
+from repro.telemetry import DISABLED, Telemetry
+
+__all__ = ["Federation"]
+
+
+class Federation:
+    """A live federated serving session.  Build via :meth:`from_spec`,
+    call :meth:`run` exactly once."""
+
+    def __init__(self, spec: FederationSpec, sim: Simulator,
+                 clusters: list[tuple[str, Cluster]],
+                 telemetry: Telemetry = DISABLED) -> None:
+        self.spec = spec
+        self.sim = sim
+        self.clusters = clusters
+        self.telemetry = telemetry
+        self.router = GlobalRouter(
+            sim,
+            [(name, cluster.service, member.link)
+             for (name, cluster), member in zip(clusters, spec.members)],
+            routing=spec.routing,
+            affinity_threshold=spec.affinity_threshold,
+            telemetry=telemetry,
+        )
+        self._ran = False
+        self._driver_active = False
+
+    @classmethod
+    def from_spec(cls, spec: FederationSpec,
+                  *, sanitize: bool | None = None) -> "Federation":
+        """Assemble the shared simulator, members, telemetry, router."""
+        if sanitize is None:
+            from repro.analyzers.runtime import sanitize_from_env
+            sanitize = sanitize_from_env()
+        if sanitize:
+            from repro.analyzers.runtime import SanitizedSimulator
+            sim: Simulator = SanitizedSimulator()
+        else:
+            sim = Simulator()
+        telemetry = (Telemetry(spec.telemetry)
+                     if spec.telemetry is not None else DISABLED)
+        clusters = [
+            (member.name,
+             Cluster.from_spec(member.cluster, sim=sim,
+                               telemetry=telemetry.scoped(member.name)))
+            for member in spec.members
+        ]
+        return cls(spec, sim, clusters, telemetry=telemetry)
+
+    @classmethod
+    def from_json(cls, text: str,
+                  *, sanitize: bool | None = None) -> "Federation":
+        return cls.from_spec(FederationSpec.from_json(text),
+                             sanitize=sanitize)
+
+    # -- running ---------------------------------------------------------------
+
+    def run(self) -> FederationResult:
+        """Drive the federated stream to completion and report."""
+        if self._ran:
+            raise FederationError(
+                "federation already ran; build a new one for another run"
+            )
+        self._ran = True
+        from repro.sweep.runner import build_open_loop_stream
+        workload = self.spec.workload
+        stream = build_open_loop_stream(
+            workload, seed=self.spec.root_seed + workload.seed_offset)
+        driver = OpenLoopClient(self.router, stream, name="federated")
+        horizon = stream.duration_ns
+        metrics = self.telemetry.metrics
+        if metrics is not None and metrics.interval_ns > horizon:
+            raise TelemetryError(
+                f"TelemetrySpec.metrics_interval_ns "
+                f"({metrics.interval_ns:g} ns) exceeds the run horizon "
+                f"({horizon:g} ns); no sample would ever be taken"
+            )
+        for _, cluster in self.clusters:
+            cluster.service.measure_until_ns = horizon
+        if metrics is not None:
+            self._register_gauges()
+            self.sim.spawn(self._metrics_sampler(horizon))
+        self._driver_active = True
+        driver.start(on_done=self._driver_finished)
+        self.sim.run()
+        # Defensive drain, mirroring Cluster.run: keep flushing while
+        # the simulation still makes progress.
+        while self._driver_active:
+            before = self.sim.now
+            for _, cluster in self.clusters:
+                cluster.service.flush()
+            self.sim.run()
+            if self.sim.now == before:
+                break
+        finish = getattr(self.sim, "finish", None)
+        if finish is not None:
+            finish()
+        return self._report(driver, horizon)
+
+    def _driver_finished(self, client) -> None:
+        # The federation-wide arrival stream ended: flush every
+        # member's partial batches so buffered work is not stranded on
+        # batch timers that will never be joined.
+        self._driver_active = False
+        for _, cluster in self.clusters:
+            cluster.service.flush()
+
+    # -- telemetry -------------------------------------------------------------
+
+    def _register_gauges(self) -> None:
+        """Federation-level time series: per-member queue depth and
+        utilization, plus the global remote-routing fraction."""
+        registry = self.telemetry.metrics
+        for name, cluster in self.clusters:
+            scheduler = cluster.service.scheduler
+            registry.gauge(f"pending_{name}",
+                           lambda s=scheduler: float(s.pending))
+            registry.gauge(f"util_{name}",
+                           lambda s=scheduler: s.utilization())
+        router = self.router
+        registry.gauge(
+            "remote_fraction",
+            lambda: (sum(router.remote) / sum(router.routed)
+                     if sum(router.routed) else 0.0))
+
+    def _metrics_sampler(self, horizon: float):
+        registry = self.telemetry.metrics
+        interval = registry.interval_ns
+        while self.sim.now + interval <= horizon:
+            yield self.sim.timeout(interval)
+            registry.sample(self.sim.now)
+
+    # -- reporting -------------------------------------------------------------
+
+    def _report(self, driver: OpenLoopClient,
+                horizon: float) -> FederationResult:
+        member_reports = [
+            (name, cluster.service.report(duration_ns=horizon))
+            for name, cluster in self.clusters
+        ]
+        merged = merge_service_reports(member_reports, self.spec.routing,
+                                       horizon, driver.latency)
+        telemetry_report = None
+        if self.telemetry.enabled:
+            telemetry_report = self.telemetry.report()
+            telemetry_report.horizon_ns = horizon
+            if self.spec.telemetry is not None:
+                telemetry_report.objectives = \
+                    self.spec.telemetry.objectives
+        run = RunResult(
+            duration_ns=horizon,
+            service=merged,
+            clients=[driver.row()],
+            telemetry=telemetry_report,
+        )
+        return FederationResult(run=run, members=member_reports,
+                                router=self.router.report())

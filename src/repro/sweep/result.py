@@ -16,6 +16,7 @@ from __future__ import annotations
 import csv
 import io
 import json
+import statistics
 from dataclasses import dataclass, field
 
 from repro.cluster.result import RunResult
@@ -30,6 +31,45 @@ def union_fieldnames(rows: list[dict]) -> list[str]:
         for key in row:
             names.setdefault(key, None)
     return list(names)
+
+
+#: Per-point identity columns that are meaningless once replicates of a
+#: grid point are collapsed into one statistical row.
+_REPLICATE_DROPPED = ("replicate", "point", "spec_hash", "seed")
+
+
+def _replicate_stats(rows: list[dict],
+                     axis_names: list[str]) -> list[dict]:
+    """Collapse replicate groups into mean/stddev rows.
+
+    ``rows`` are raw tagged per-replicate rows; groups are keyed by the
+    explicit axis coordinates (the implicit ``replicate`` axis and the
+    per-point identity columns are dropped).  Numeric columns become
+    ``<column>_mean``/``<column>_stddev`` (sample standard deviation,
+    0.0 for singleton groups); non-numeric columns survive only when
+    constant across the group.
+    """
+    groups: dict[tuple, list[dict]] = {}
+    for row in rows:
+        groups.setdefault(
+            tuple(row.get(name) for name in axis_names), []).append(row)
+    out = []
+    for key, group in groups.items():
+        merged = dict(zip(axis_names, key))
+        merged["replicates"] = len(group)
+        for column in union_fieldnames(group):
+            if column in _REPLICATE_DROPPED or column in merged:
+                continue
+            values = [row[column] for row in group if column in row]
+            if all(isinstance(value, (int, float))
+                   and not isinstance(value, bool) for value in values):
+                merged[f"{column}_mean"] = statistics.fmean(values)
+                merged[f"{column}_stddev"] = (
+                    statistics.stdev(values) if len(values) > 1 else 0.0)
+            elif len({str(value) for value in values}) == 1:
+                merged[column] = values[0]
+        out.append(merged)
+    return out
 
 
 def rows_to_csv(rows: list[dict]) -> str:
@@ -101,7 +141,7 @@ class SweepResult:
             row.setdefault(key, value)
         return row
 
-    def rows(self) -> list[dict]:
+    def rows(self, replicate_stats: bool | None = None) -> list[dict]:
         """One merged flat row per successful point, tagged with its
         axis coordinates, grid index, spec hash and seed.
 
@@ -109,6 +149,12 @@ class SweepResult:
         columns (``health`` verdict + fired ``alerts`` count) from
         :meth:`~repro.cluster.result.RunResult.health`, so a sweep
         table shows at a glance which grid corners blew their SLOs.
+
+        When the spec declares ``replicates > 1`` the replicate group
+        of every grid point is aggregated into one row per coordinate
+        with ``<column>_mean``/``<column>_stddev`` pairs (sample
+        standard deviation) plus a ``replicates`` count; pass
+        ``replicate_stats=False`` for the raw per-replicate rows.
         """
         rows = []
         for point, result in self:
@@ -116,7 +162,12 @@ class SweepResult:
             if result.telemetry is not None:
                 merged.update(result.health().row())
             rows.append(self._tagged(point, merged))
-        return rows
+        aggregate = (self.spec.replicates > 1 if replicate_stats is None
+                     else replicate_stats)
+        if not aggregate or self.spec.replicates <= 1:
+            return rows
+        return _replicate_stats(rows,
+                                [axis.name for axis in self.spec.axes])
 
     def client_rows(self) -> list[dict]:
         """Per-client rows across every point, tagged the same way."""

@@ -22,11 +22,40 @@ from typing import Callable
 from repro.cluster.session import Cluster, build_device, calibrated_models
 from repro.cluster.result import RunResult
 from repro.errors import ReproError, SweepError
+from repro.service.request import OpenLoopStream
 from repro.sweep.result import SweepFailure, SweepResult
 from repro.sweep.spec import SweepPoint, SweepSpec, WorkloadSpec
+from repro.workloads.population import PopulationStream, realize_population
 
 #: Progress callback signature: (completed points, total points, point).
 ProgressFn = Callable[[int, int, SweepPoint], None]
+
+
+def build_open_loop_stream(workload: WorkloadSpec, seed: int,
+                           slo_mix=None) -> OpenLoopStream:
+    """The open-loop stream a :class:`WorkloadSpec` describes.
+
+    A plain spec builds the classic :class:`OpenLoopStream`
+    (byte-identical to what ``cluster.open_loop(**kwargs)`` wired
+    before populations existed); specs declaring ``population`` and/or
+    ``diurnal`` sections build a
+    :class:`~repro.workloads.population.PopulationStream` over the
+    (cached) realized population.  Shared by the sweep runner and the
+    federation driver.
+    """
+    if workload.population is None and workload.diurnal is None:
+        return OpenLoopStream(offered_gbps=workload.offered_gbps,
+                              duration_ns=workload.duration_ns,
+                              tenants=workload.tenants,
+                              slo_mix=slo_mix, seed=seed)
+    population = (realize_population(workload.population)
+                  if workload.population is not None else None)
+    return PopulationStream(offered_gbps=workload.offered_gbps,
+                            duration_ns=workload.duration_ns,
+                            tenants=workload.tenants,
+                            slo_mix=slo_mix, seed=seed,
+                            population=population,
+                            diurnal=workload.diurnal)
 
 
 def attach_workload(cluster: Cluster, workload: WorkloadSpec,
@@ -38,9 +67,8 @@ def attach_workload(cluster: Cluster, workload: WorkloadSpec,
     experiments did.
     """
     if workload.mode == "open-loop":
-        cluster.open_loop(offered_gbps=workload.offered_gbps,
-                          duration_ns=workload.duration_ns,
-                          tenants=workload.tenants, seed=seed)
+        cluster.open_loop(build_open_loop_stream(
+            workload, seed, slo_mix=cluster.default_slo_mix()))
     elif workload.mode == "closed-loop":
         for index in range(workload.clients):
             cluster.closed_loop(window=workload.window,
@@ -88,17 +116,34 @@ class SweepRunner:
     def __init__(self, spec: SweepSpec, *,
                  workers: int = 0,
                  on_error: str = "raise",
-                 progress: ProgressFn | None = None) -> None:
+                 progress: ProgressFn | None = None,
+                 distributed: bool = False,
+                 hosts: list | None = None,
+                 heartbeat_timeout_s: float = 10.0,
+                 max_requeues: int = 1) -> None:
         if workers < 0:
             raise SweepError(f"workers must be >= 0, got {workers}")
         if on_error not in ("raise", "continue"):
             raise SweepError(
                 f"on_error must be 'raise' or 'continue', got {on_error!r}"
             )
+        if distributed and hosts is None and workers < 1:
+            raise SweepError(
+                "distributed sweeps without explicit hosts spawn local "
+                "workers; pass workers >= 1"
+            )
         self.spec = spec
         self.workers = workers
         self.on_error = on_error
         self.progress = progress
+        self.distributed = distributed or hosts is not None
+        self.hosts = hosts
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.max_requeues = max_requeues
+        #: Populated by the sockets backend after a run: requeue count
+        #: and dead-worker labels (``SocketWorkerPool`` attributes).
+        self.dispatch_requeues = 0
+        self.dispatch_dead_workers: list[str] = []
 
     # -- calibration pre-warm --------------------------------------------------
 
@@ -135,7 +180,9 @@ class SweepRunner:
         self.warm_calibration(points)
         result = SweepResult(spec=self.spec, points=points,
                              results=[None] * len(points))
-        if self.workers == 0:
+        if self.distributed:
+            self._run_sockets(points, result)
+        elif self.workers == 0:
             self._run_inline(points, result)
         else:
             self._run_pool(points, result)
@@ -181,10 +228,49 @@ class SweepRunner:
             for done, (index, run, error) in enumerate(outcomes, start=1):
                 self._record(result, done, index, run, error)
 
+    def _run_sockets(self, points: tuple[SweepPoint, ...],
+                     result: SweepResult) -> None:
+        """Distributed backend: fan points out over socket workers.
+
+        Explicit ``hosts`` drive pre-started workers
+        (``repro-experiment worker --listen``); without hosts,
+        ``workers`` localhost processes are spawned for this run (after
+        calibration warm-up, so forked workers inherit the cache).
+        Results land through ``point.index``, so rows are byte-identical
+        to the inline runner whatever the completion order.
+        """
+        # Imported lazily: repro.federation.dispatch imports this
+        # module for the worker-side point executor.
+        from repro.federation.dispatch import (
+            SocketWorkerPool,
+            spawn_local_workers,
+        )
+        local = None
+        hosts = self.hosts
+        if hosts is None:
+            local = spawn_local_workers(self.workers)
+            hosts = local.hosts
+        try:
+            pool = SocketWorkerPool(
+                hosts,
+                heartbeat_timeout_s=self.heartbeat_timeout_s,
+                max_requeues=self.max_requeues)
+            outcomes = pool.imap(points)
+            for done, (index, run, error) in enumerate(outcomes, start=1):
+                self._record(result, done, index, run, error)
+            self.dispatch_requeues = pool.requeues
+            self.dispatch_dead_workers = list(pool.dead_workers)
+        finally:
+            if local is not None:
+                local.close()
+
 
 def run_sweep_spec(spec: SweepSpec, *, workers: int = 0,
                    on_error: str = "raise",
-                   progress: ProgressFn | None = None) -> SweepResult:
+                   progress: ProgressFn | None = None,
+                   distributed: bool = False,
+                   hosts: list | None = None) -> SweepResult:
     """One-call convenience: ``SweepRunner(spec, ...).run()``."""
     return SweepRunner(spec, workers=workers, on_error=on_error,
-                       progress=progress).run()
+                       progress=progress, distributed=distributed,
+                       hosts=hosts).run()

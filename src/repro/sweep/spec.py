@@ -45,7 +45,8 @@ from repro.cluster.spec import (
     apply_override,
     to_jsonable,
 )
-from repro.errors import ClusterSpecError, SweepSpecError
+from repro.errors import ClusterSpecError, SweepSpecError, WorkloadError
+from repro.workloads.population import DiurnalSpec, TenantPopulationSpec
 
 #: Traffic shapes a :class:`WorkloadSpec` may declare.
 WORKLOAD_MODES = ("open-loop", "closed-loop", "store")
@@ -65,9 +66,16 @@ class WorkloadSpec:
     ``closed-loop`` windowed connections, or mixed GET/PUT ``store``
     traffic; the last requires the cluster spec to carry a ``store``
     section).  ``seed_offset`` shifts this workload's stream seed
-    relative to the sweep's root seed — sweep it as an axis to get
-    decorrelated replicates, leave it at 0 so every grid point sees
-    identical arrivals (paired comparisons).
+    relative to the sweep's root seed — sweep it as an axis (or set
+    ``SweepSpec.replicates``) to get decorrelated replicates, leave it
+    at 0 so every grid point sees identical arrivals (paired
+    comparisons).
+
+    ``population`` replaces the uniform ``tenants`` draw with a
+    heavy-tailed tenant population
+    (:class:`~repro.workloads.population.TenantPopulationSpec`) and
+    ``diurnal`` modulates the arrival rate over simulated time; both
+    are open-loop-only traffic shaping.
     """
 
     mode: str = "open-loop"
@@ -83,6 +91,9 @@ class WorkloadSpec:
     read_fraction: float = 0.8
     blocks: int = 512
     zipf_theta: float = 0.99
+    #: Open-loop traffic shaping: heavy-tail tenants, rate modulation.
+    population: TenantPopulationSpec | None = None
+    diurnal: DiurnalSpec | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in WORKLOAD_MODES:
@@ -122,6 +133,12 @@ class WorkloadSpec:
             raise SweepSpecError(
                 f"need at least one logical block, got {self.blocks}"
             )
+        if self.mode != "open-loop" and (self.population is not None
+                                         or self.diurnal is not None):
+            raise SweepSpecError(
+                f"population/diurnal traffic shaping applies to "
+                f"open-loop workloads only; mode is {self.mode!r}"
+            )
 
     def to_dict(self) -> dict:
         return to_jsonable(self)
@@ -130,8 +147,18 @@ class WorkloadSpec:
     def from_dict(cls, data: dict) -> "WorkloadSpec":
         _check_keys(cls, data)
         defaults = cls()
-        return cls(**{f.name: data.get(f.name, getattr(defaults, f.name))
-                      for f in dataclasses.fields(cls)})
+        kwargs = {f.name: data.get(f.name, getattr(defaults, f.name))
+                  for f in dataclasses.fields(cls)}
+        try:
+            if isinstance(kwargs["population"], dict):
+                kwargs["population"] = \
+                    TenantPopulationSpec.from_dict(kwargs["population"])
+            if isinstance(kwargs["diurnal"], dict):
+                kwargs["diurnal"] = \
+                    DiurnalSpec.from_dict(kwargs["diurnal"])
+        except WorkloadError as error:
+            raise SweepSpecError(str(error)) from error
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -349,6 +376,12 @@ class SweepSpec:
     ``root_seed`` anchors every point's stream seed (see
     :class:`WorkloadSpec.seed_offset`), so one number reproduces the
     entire sweep — serial or parallel.
+
+    ``replicates=N`` runs every grid point N times with decorrelated
+    arrivals: an implicit innermost ``replicate`` axis shifts
+    ``workload.seed_offset`` by 0..N-1, and
+    :meth:`~repro.sweep.result.SweepResult.rows` aggregates the
+    replicate group into ``mean``/``stddev`` columns.
     """
 
     cluster: ClusterSpec
@@ -356,6 +389,7 @@ class SweepSpec:
     axes: tuple[SweepAxis, ...] = ()
     filters: tuple[SweepFilter, ...] = ()
     root_seed: int = 1234
+    replicates: int = 1
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "axes", tuple(self.axes))
@@ -375,6 +409,16 @@ class SweepSpec:
                     f"filter names unknown axis(es) {unknown}; "
                     f"axes: {sorted(names)}"
                 )
+        if self.replicates < 1:
+            raise SweepSpecError(
+                f"replicates must be >= 1, got {self.replicates}"
+            )
+        if self.replicates > 1 and "replicate" in names:
+            raise SweepSpecError(
+                "replicates > 1 adds an implicit 'replicate' axis; "
+                "rename the explicit axis of that name (or drop "
+                "replicates and keep your own seed_offset axis)"
+            )
 
     # -- expansion -------------------------------------------------------------
 
@@ -387,21 +431,41 @@ class SweepSpec:
     def grid_size(self) -> int:
         """Unfiltered grid size (product of axis lengths)."""
         size = 1
-        for axis in self.axes:
+        for axis in self._effective_axes():
             size *= len(axis.points)
         return size
+
+    def _effective_axes(self) -> tuple[SweepAxis, ...]:
+        """Declared axes plus the implicit innermost replicate axis.
+
+        Each replicate shifts the base workload's ``seed_offset`` by
+        its own index, so replicate r of every grid point shares one
+        arrival sequence (paired across the grid) while r and r+1 are
+        decorrelated.
+        """
+        if self.replicates <= 1:
+            return self.axes
+        base = self.workload.seed_offset
+        replicate_axis = SweepAxis.over(
+            "replicate", "workload.seed_offset",
+            tuple(base + r for r in range(self.replicates)),
+            labels=tuple(range(self.replicates)),
+        )
+        return self.axes + (replicate_axis,)
 
     def expand(self) -> tuple[SweepPoint, ...]:
         """The deterministic grid of fully-resolved points.
 
-        Product over axes in declaration order, last axis fastest;
-        filtered points are dropped before indices are assigned, so
-        ``point.index`` is the position in the runnable grid.
+        Product over axes in declaration order, last axis fastest
+        (replicates innermost of all); filtered points are dropped
+        before indices are assigned, so ``point.index`` is the
+        position in the runnable grid.
         """
+        axes = self._effective_axes()
         points: list[SweepPoint] = []
-        for combo in _product([axis.points for axis in self.axes]):
+        for combo in _product([axis.points for axis in axes]):
             coords = {axis.name: point.label
-                      for axis, point in zip(self.axes, combo)}
+                      for axis, point in zip(axes, combo)}
             if any(filt.matches(coords) for filt in self.filters):
                 continue
             document = self.base_document()
@@ -447,6 +511,7 @@ class SweepSpec:
             "axes": to_jsonable(self.axes),
             "filters": to_jsonable(self.filters),
             "root_seed": self.root_seed,
+            "replicates": self.replicates,
         }
 
     @classmethod
@@ -464,6 +529,7 @@ class SweepSpec:
             filters=tuple(SweepFilter.from_dict(entry)
                           for entry in data.get("filters", ())),
             root_seed=data.get("root_seed", 1234),
+            replicates=data.get("replicates", 1),
         )
 
     def to_json(self, indent: int | None = 2) -> str:

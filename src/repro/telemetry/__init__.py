@@ -25,7 +25,12 @@ from repro.telemetry.analysis import (
     build_health,
     evaluate_objectives,
 )
-from repro.telemetry.core import DISABLED, Telemetry, TelemetryReport
+from repro.telemetry.core import (
+    DISABLED,
+    ScopedTelemetry,
+    Telemetry,
+    TelemetryReport,
+)
 from repro.telemetry.metrics import Counter, Histogram, MetricsRegistry
 from repro.telemetry.profiler import (
     ProfiledTelemetry,
@@ -54,6 +59,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ProfiledTelemetry",
+    "ScopedTelemetry",
     "SloObjective",
     "Telemetry",
     "TelemetryReport",

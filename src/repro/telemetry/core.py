@@ -131,6 +131,22 @@ class Telemetry:
                 args: dict | None = None) -> None:
         self.trace.instant(track, name, ts_ns, args)
 
+    # -- scoping ---------------------------------------------------------------
+
+    def scoped(self, prefix: str) -> "Telemetry":
+        """A view of this sink that prefixes every track with
+        ``prefix/``.
+
+        Federated sessions hand each member cluster a scoped view of
+        the federation-level sink, so one merged trace carries every
+        cluster's spans on disjoint ``<cluster>/<track>`` tracks.
+        Disabled sinks scope to :data:`DISABLED` (nothing to prefix);
+        ids and reports stay owned by the root.
+        """
+        if not self.enabled:
+            return DISABLED
+        return ScopedTelemetry(self, prefix)
+
     # -- extraction ------------------------------------------------------------
 
     def report(self) -> TelemetryReport:
@@ -143,6 +159,44 @@ class Telemetry:
             metrics_rows=list(self.metrics.rows) if self.metrics else [],
             interval_ns=self.metrics.interval_ns if self.metrics else None,
         )
+
+
+class ScopedTelemetry(Telemetry):
+    """A track-prefixing view over a root :class:`Telemetry`.
+
+    Shares the root's recorder, registry and id counter (ids stay
+    globally monotonic across every scope), rewriting only the track
+    names.  Build via :meth:`Telemetry.scoped`.
+    """
+
+    __slots__ = ("_root", "_prefix")
+
+    def __init__(self, root: Telemetry, prefix: str) -> None:
+        # Deliberately no super().__init__: every slot is aliased to
+        # the root so the hot-path guards read the same flags.
+        self._root = root
+        self._prefix = f"{prefix}/"
+        self.tracing = root.tracing
+        self.trace = root.trace
+        self.metrics = root.metrics
+
+    def next_id(self) -> int:
+        return self._root.next_id()
+
+    def span(self, track: str, name: str, start_ns: float,
+             end_ns: float, args: dict | None = None) -> None:
+        self.trace.span(self._prefix + track, name, start_ns, end_ns,
+                        args)
+
+    def instant(self, track: str, name: str, ts_ns: float,
+                args: dict | None = None) -> None:
+        self.trace.instant(self._prefix + track, name, ts_ns, args)
+
+    def scoped(self, prefix: str) -> "Telemetry":
+        return self._root.scoped(f"{self._prefix}{prefix}")
+
+    def report(self) -> TelemetryReport:
+        return self._root.report()
 
 
 #: Shared no-op instance every component defaults to.  Its ``tracing``

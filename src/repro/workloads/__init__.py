@@ -11,6 +11,13 @@ from repro.workloads.datagen import (
 )
 from repro.workloads.fio import FioJob, IoPattern, IoRequest
 from repro.workloads.mixed import MixedStream, StoreOp
+from repro.workloads.population import (
+    DiurnalSpec,
+    PopulationStream,
+    TenantPopulation,
+    TenantPopulationSpec,
+    realize_population,
+)
 from repro.workloads.ycsb import Operation, OpType, YcsbWorkload, make_value
 from repro.workloads.zipf import (
     ScrambledZipfian,
@@ -20,14 +27,18 @@ from repro.workloads.zipf import (
 
 __all__ = [
     "CorpusMember",
+    "DiurnalSpec",
     "FioJob",
     "IoPattern",
     "IoRequest",
     "MixedStream",
     "Operation",
     "OpType",
+    "PopulationStream",
     "ScrambledZipfian",
     "StoreOp",
+    "TenantPopulation",
+    "TenantPopulationSpec",
     "UniformGenerator",
     "YcsbWorkload",
     "ZipfianGenerator",
@@ -39,4 +50,5 @@ __all__ = [
     "mixed_block",
     "random_bytes",
     "ratio_controlled_bytes",
+    "realize_population",
 ]

@@ -552,3 +552,51 @@ class TestDeprecatedShims:
                           match=r"Cluster\.from_spec"):
             report = run_block_store(stream, fleet=fleet, cache_blocks=4)
         assert report.reads + report.writes >= 0
+
+
+class TestReplicates:
+    def test_implicit_replicate_axis_is_innermost(self):
+        spec = cheap_sweep(replicates=3)
+        assert spec.grid_size() == 12
+        points = spec.expand()
+        assert [p.coords["replicate"] for p in points[:4]] == [0, 1, 2, 0]
+        # Replicates decorrelate through workload.seed_offset only.
+        seeds = {p.workload.seed_offset for p in points[:3]}
+        assert len(seeds) == 3
+        assert points[0].cluster == points[1].cluster
+
+    def test_replicates_round_trip_and_validate(self):
+        spec = cheap_sweep(replicates=2)
+        assert SweepSpec.from_json(spec.to_json()) == spec
+        with pytest.raises(SweepSpecError, match="replicates"):
+            cheap_sweep(replicates=0)
+        with pytest.raises(SweepSpecError, match="implicit"):
+            cheap_sweep(
+                replicates=2,
+                axes=(SweepAxis.over("replicate",
+                                     "workload.seed_offset", (0, 1)),))
+
+    def test_rows_aggregate_mean_and_stddev_per_point(self):
+        spec = cheap_sweep(
+            replicates=3,
+            axes=(SweepAxis.over("offered_gbps",
+                                 "workload.offered_gbps", (1.0, 2.0)),))
+        result = SweepRunner(spec).run()
+        raw = result.rows(replicate_stats=False)
+        assert len(raw) == 6
+        assert {row["replicate"] for row in raw} == {0, 1, 2}
+        rows = result.rows()
+        assert len(rows) == 2
+        for row in rows:
+            assert row["replicates"] == 3
+            assert "completed_mean" in row and "completed_stddev" in row
+            assert "seed" not in row and "replicate" not in row
+        group = [row for row in raw
+                 if row["offered_gbps"] == rows[0]["offered_gbps"]]
+        mean = sum(r["completed"] for r in group) / 3
+        assert rows[0]["completed_mean"] == pytest.approx(mean)
+
+    def test_single_replicate_rows_unchanged(self):
+        result = SweepRunner(cheap_sweep()).run()
+        assert "completed" in result.rows()[0]
+        assert "completed_mean" not in result.rows()[0]
